@@ -1,0 +1,287 @@
+// Package authdb is a relational database engine with view-based access
+// authorization by algebraic manipulation of view definitions, after
+// Motro, "An Access Authorization Model for Relational Databases Based on
+// Algebraic Manipulation of View Definitions" (ICDE 1989).
+//
+// Permissions are conjunctive views. Users query the actual database, not
+// the views; the system runs each query both on the relations and on
+// meta-relations holding the view definitions, obtaining an answer and a
+// mask. The mask withholds unauthorized values and the user receives
+// inferred permit statements describing exactly the portions delivered.
+//
+// Quick start:
+//
+//	db := authdb.Open()
+//	admin := db.Admin()
+//	admin.MustExec(`relation EMPLOYEE (NAME, TITLE, SALARY) key (NAME)`)
+//	admin.MustExec(`insert into EMPLOYEE values (Jones, manager, 26000)`)
+//	admin.MustExec(`view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY)`)
+//	admin.MustExec(`permit SAE to Brown`)
+//	res, err := db.Session("Brown").Exec(
+//	    `retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)`)
+//	// res.Table has TITLE masked; res.Permits == ["permit (NAME, SALARY)"]
+package authdb
+
+import (
+	"fmt"
+	"strings"
+
+	"authdb/internal/core"
+	"authdb/internal/engine"
+	"authdb/internal/relation"
+	"authdb/internal/value"
+)
+
+// Options selects the refinements of the paper's §4.2 and the execution
+// strategy; see DESIGN.md. DefaultOptions enables everything.
+type Options struct {
+	// Padding keeps subviews of each product operand alive across
+	// projections removing the other operand's attributes.
+	Padding bool
+	// FourCase enables the clear/keep/discard/conjoin selection
+	// refinement; disabled, selection conjoins unconditionally.
+	FourCase bool
+	// SelfJoins infers merged meta-tuples from lossless key joins of
+	// different views over one relation.
+	SelfJoins bool
+	// Subsume drops mask tuples covered by another mask tuple.
+	Subsume bool
+	// OptimizedExec answers queries with pushdown and hash joins rather
+	// than the naive product–selection–projection order.
+	OptimizedExec bool
+	// ExtendedMasks enables the paper's §6(3) extension: masks may be
+	// "expressed with additional attributes", so a view's conditions on
+	// columns the query did not request still admit the permitted rows
+	// (they are checked against the pre-projection answer) instead of
+	// being lost at projection time.
+	ExtendedMasks bool
+}
+
+// DefaultOptions enables every refinement and the optimized executor.
+func DefaultOptions() Options {
+	return Options{Padding: true, FourCase: true, SelfJoins: true, Subsume: true, OptimizedExec: true}
+}
+
+func (o Options) internal() core.Options {
+	opt := core.DefaultOptions()
+	opt.Padding = o.Padding
+	opt.FourCase = o.FourCase
+	opt.SelfJoins = o.SelfJoins
+	opt.Subsume = o.Subsume
+	opt.OptimizedExec = o.OptimizedExec
+	opt.ExtendedMasks = o.ExtendedMasks
+	return opt
+}
+
+// DB is a database instance with authorization state.
+type DB struct {
+	eng *engine.Engine
+}
+
+// Open creates an empty database. With no arguments it uses
+// DefaultOptions; at most one Options value may be given.
+func Open(opts ...Options) *DB {
+	o := DefaultOptions()
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &DB{eng: engine.New(o.internal())}
+}
+
+// Certification is the §1 generalization of the model applied to data
+// quality: the full answer plus statements describing the portions whose
+// tagged property (e.g. "validated") is guaranteed.
+type Certification struct {
+	// Table is the full answer — certification never withholds data.
+	Table *Table
+	// Statements describe the certified portions ("certified (…) where …");
+	// empty when everything or nothing is certified.
+	Statements []string
+	// Full reports the entire answer carries the property.
+	Full bool
+}
+
+// Certify answers query in full and annotates it with the portions
+// possessing the given quality. Tag views with the quality through a
+// permit statement, e.g. `permit PSA to validated`.
+func (db *DB) Certify(quality, query string) (*Certification, error) {
+	c, err := db.eng.Certify(quality, query)
+	if err != nil {
+		return nil, err
+	}
+	out := &Certification{Table: tableOf(c.Answer), Full: c.Full}
+	for _, s := range c.Statements {
+		out.Statements = append(out.Statements, s.String())
+	}
+	return out, nil
+}
+
+// Save writes the database's complete state (schema, data, views,
+// permits) into a directory; Load restores it.
+func (db *DB) Save(dir string) error { return db.eng.Save(dir) }
+
+// Load restores a database saved with Save. With no Options argument it
+// uses DefaultOptions.
+func Load(dir string, opts ...Options) (*DB, error) {
+	o := DefaultOptions()
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	eng, err := engine.Load(dir, o.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Admin opens an administrator session: it may define relations, load
+// data, define views, grant and revoke permits, and reads unmasked.
+func (db *DB) Admin() *Session {
+	return &Session{s: db.eng.NewSession("admin", true)}
+}
+
+// Session opens a session for a (non-administrator) user; retrievals are
+// masked by the user's permitted views and updates are checked against
+// them.
+func (db *DB) Session(user string) *Session {
+	return &Session{s: db.eng.NewSession(user, false)}
+}
+
+// Session executes statements on behalf of one principal.
+type Session struct {
+	s *engine.Session
+}
+
+// User returns the session's principal.
+func (s *Session) User() string { return s.s.User() }
+
+// Cell is one delivered value: a string, an integer, or null (withheld).
+type Cell struct {
+	v value.Value
+}
+
+// IsNull reports whether the value was withheld (or genuinely null).
+func (c Cell) IsNull() bool { return c.v.IsNull() }
+
+// Int returns the integer payload and whether the cell holds an integer.
+func (c Cell) Int() (int64, bool) { return c.v.AsInt(), c.v.Kind() == value.KindInt }
+
+// Text returns the string payload and whether the cell holds a string.
+func (c Cell) Text() (string, bool) { return c.v.AsString(), c.v.Kind() == value.KindString }
+
+// String renders the cell; withheld cells render as "-".
+func (c Cell) String() string { return c.v.String() }
+
+// Table is a delivered relation.
+type Table struct {
+	// Columns holds display names (bare attribute names, numbered on
+	// collision).
+	Columns []string
+	// Rows holds the tuples in canonical order.
+	Rows [][]Cell
+}
+
+// String renders the table in the paper's figure style.
+func (t *Table) String() string {
+	var b strings.Builder
+	rows := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = make([]string, len(r))
+		for j, c := range r {
+			rows[i][j] = c.String()
+		}
+	}
+	relation.RenderTable(&b, "", t.Columns, rows, false)
+	return b.String()
+}
+
+func tableOf(r *relation.Relation) *Table {
+	if r == nil {
+		return nil
+	}
+	t := &Table{Columns: core.DisplayNames(r.Attrs)}
+	for _, tp := range r.Sorted() {
+		row := make([]Cell, len(tp))
+		for j, v := range tp {
+			row[j] = Cell{v: v}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Text carries acknowledgements and show output.
+	Text string
+	// Table is the delivered relation of a retrieve, masked for user
+	// sessions.
+	Table *Table
+	// Permits are the inferred permit statements accompanying a
+	// partially delivered answer (empty on full grants and denials).
+	Permits []string
+	// FullyAuthorized reports the entire answer was delivered; Denied
+	// reports none of it was.
+	FullyAuthorized bool
+	// Denied reports that no portion of the answer was permitted.
+	Denied bool
+}
+
+func resultOf(r *engine.Result) *Result {
+	out := &Result{Text: r.Text, Table: tableOf(r.Relation)}
+	for _, p := range r.Permits {
+		out.Permits = append(out.Permits, p.String())
+	}
+	if r.Decision != nil {
+		out.FullyAuthorized = r.Decision.FullyAuthorized
+		out.Denied = r.Decision.Denied
+	}
+	return out
+}
+
+// Exec parses and executes one statement (relation, insert, delete, view,
+// permit, revoke, retrieve, show, drop view).
+func (s *Session) Exec(stmt string) (*Result, error) {
+	r, err := s.s.Exec(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(r), nil
+}
+
+// MustExec is Exec for setup code; it panics on error.
+func (s *Session) MustExec(stmt string) *Result {
+	r, err := s.Exec(stmt)
+	if err != nil {
+		panic(fmt.Errorf("authdb: %s: %w", firstLine(stmt), err))
+	}
+	return r
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error.
+func (s *Session) ExecScript(script string) ([]*Result, error) {
+	rs, err := s.s.ExecScript(script)
+	out := make([]*Result, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, resultOf(r))
+	}
+	return out, err
+}
+
+// MustExecScript is ExecScript for setup code; it panics on error.
+func (s *Session) MustExecScript(script string) []*Result {
+	out, err := s.ExecScript(script)
+	if err != nil {
+		panic(fmt.Errorf("authdb: %w", err))
+	}
+	return out
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " …"
+	}
+	return s
+}

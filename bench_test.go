@@ -1,0 +1,364 @@
+// Benchmarks regenerating the paper's artifacts and the EXPERIMENTS.md
+// measurements: one benchmark per reproduced table/figure (E1–E5), the
+// baseline comparisons (E6–E7), the §4.2 refinement ablations (E8), the
+// overhead and executor sweeps (E9), the §4.2 four-case walkthrough
+// (E10), and the §6(3) extension (E11).
+//
+// Run with: go test -bench=. -benchmem
+package authdb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"authdb"
+	"authdb/internal/algebra"
+	"authdb/internal/core"
+	"authdb/internal/cview"
+	"authdb/internal/qmod"
+	"authdb/internal/sysr"
+	"authdb/internal/value"
+	"authdb/internal/workload"
+)
+
+// BenchmarkFigure1Compile measures E1: translating the paper's four view
+// definitions and five permits into meta-relations, COMPARISON, and
+// PERMISSION (the §6 front-end path).
+func BenchmarkFigure1Compile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		workload.Paper()
+	}
+}
+
+func benchExample(b *testing.B, user, query string) {
+	b.Helper()
+	f := workload.Paper()
+	auth := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+	def := workload.MustQuery(query)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := auth.Retrieve(user, def); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExample1 measures E2: Brown's single-relation request with the
+// PSA mask.
+func BenchmarkExample1(b *testing.B) { benchExample(b, "Brown", workload.Example1Query) }
+
+// BenchmarkExample2 measures E3: Klein's three-way join with products,
+// pruning, clearing, and the NAME-only mask.
+func BenchmarkExample2(b *testing.B) { benchExample(b, "Klein", workload.Example2Query) }
+
+// BenchmarkExample3 measures E4: Brown's self-product with the SAE ⋈ EST
+// self-join inference and a full grant.
+func BenchmarkExample3(b *testing.B) { benchExample(b, "Brown", workload.Example3Query) }
+
+// BenchmarkCommuteCheck measures E5: evaluating a mask meta-tuple as a
+// view of the answer (the Figure 2 commutation check used by the
+// Proposition property tests).
+func BenchmarkCommuteCheck(b *testing.B) {
+	f := workload.Paper()
+	inst := f.Store.Instantiate("Brown", map[string]int{"PROJECT": 1}, core.DefaultOptions())
+	mr := inst.MetaRelFor("PROJECT", "PROJECT")
+	base := f.Rels["PROJECT"].Rename([]string{"PROJECT.NUMBER", "PROJECT.SPONSOR", "PROJECT.BUDGET"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mt := range mr.Tuples {
+			mt.EvalOn(base)
+		}
+	}
+}
+
+// BenchmarkVsSystemR measures E6: a System R all-or-nothing check versus
+// the full dual-pipeline masking decision on the same request.
+func BenchmarkVsSystemR(b *testing.B) {
+	f := workload.Paper()
+	sr := sysr.New(f.Schema, f.Source, "dba")
+	for _, name := range f.Store.ViewNames() {
+		if err := sr.DefineView("dba", f.Store.View(name).Def); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sr.GrantSelect("dba", "Klein", "ELP", false); err != nil {
+		b.Fatal(err)
+	}
+	auth := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+	def := workload.MustQuery(workload.Example2Query)
+	b.Run("systemr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sr.Query("Klein", def) //nolint:errcheck // denial is the expected outcome
+		}
+	})
+	b.Run("mask", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := auth.Retrieve("Klein", def); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVsIngres measures E7: INGRES query modification versus masking
+// on a covered single-relation request.
+func BenchmarkVsIngres(b *testing.B) {
+	f := workload.Paper()
+	ing := qmod.New(f.Schema, f.Source)
+	if err := ing.Permit(qmod.Permission{
+		User: "Brown", Rel: "PROJECT",
+		Attrs: []string{"NUMBER", "SPONSOR", "BUDGET"},
+		Quals: []qmod.Qual{{Attr: "SPONSOR", Op: value.EQ, Const: value.String("Acme")}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	auth := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+	def := workload.MustQuery(workload.Example1Query)
+	b.Run("ingres", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ing.Query("Brown", def); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mask", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := auth.Retrieve("Brown", def); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ablationWorkload prepares E8's synthetic fixture and queries.
+func ablationWorkload(b *testing.B) (*workload.Fixture, []*cview.Def) {
+	b.Helper()
+	cfg := workload.DefaultGen()
+	cfg.Views, cfg.Relations, cfg.RowsPerRel = 6, 4, 96
+	g := workload.Generate(cfg)
+	qs := workload.GenQueries(cfg, workload.QueryConfig{
+		Seed: 11, Count: 10, JoinWidth: 2, ExtraAttrProb: 0.3,
+		RangeFraction: 0.7, DropSelAttrProb: 0.5, InsideProb: 0.6,
+	}, g.ViewDefsFor("u0")...)
+	return g, qs
+}
+
+func benchAblation(b *testing.B, mod func(*core.Options)) {
+	b.Helper()
+	g, qs := ablationWorkload(b)
+	opt := core.DefaultOptions()
+	mod(&opt)
+	auth := core.NewAuthorizer(g.Store, g.Source, opt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if _, err := auth.Retrieve("u0", q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblation measures E8: the cost of each §4.2 refinement
+// configuration over the synthetic workload (10 queries per iteration).
+func BenchmarkAblation(b *testing.B) {
+	b.Run("default", func(b *testing.B) { benchAblation(b, func(*core.Options) {}) })
+	b.Run("no-padding", func(b *testing.B) {
+		benchAblation(b, func(o *core.Options) { o.Padding = false })
+	})
+	b.Run("no-fourcase", func(b *testing.B) {
+		benchAblation(b, func(o *core.Options) { o.FourCase = false })
+	})
+	b.Run("no-selfjoins", func(b *testing.B) {
+		benchAblation(b, func(o *core.Options) { o.SelfJoins = false })
+	})
+	b.Run("bare-definitions", func(b *testing.B) {
+		benchAblation(b, func(o *core.Options) {
+			o.Padding, o.FourCase, o.SelfJoins = false, false, false
+		})
+	})
+}
+
+// BenchmarkOverhead measures E9: plain execution versus the dual pipeline
+// at several database sizes and view counts.
+func BenchmarkOverhead(b *testing.B) {
+	for _, rows := range []int{100, 1000, 5000} {
+		for _, views := range []int{2, 8, 32} {
+			cfg := workload.DefaultGen()
+			cfg.Relations, cfg.RowsPerRel, cfg.Views, cfg.ViewJoinWidth = 3, rows, views, 2
+			cfg.Users = []string{"u0"}
+			g := workload.Generate(cfg)
+			def := workload.GenQueries(cfg, workload.QueryConfig{
+				Seed: 3, Count: 1, JoinWidth: 2, RangeFraction: 0.5,
+			})[0]
+			an, err := cview.Analyze(def, g.Schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			auth := core.NewAuthorizer(g.Store, g.Source, core.DefaultOptions())
+			name := fmt.Sprintf("rows=%d/views=%d", rows, views)
+			b.Run(name+"/exec-only", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := algebra.EvalOptimized(an.PSJ, g.Source); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(name+"/exec+mask", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := auth.RetrievePlan("u0", an.PSJ); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExecNaiveVsOptimized measures E9's executor comparison: the
+// paper's products→selections→projections order against pushdown with
+// hash joins.
+func BenchmarkExecNaiveVsOptimized(b *testing.B) {
+	for _, rows := range []int{100, 1000} {
+		cfg := workload.DefaultGen()
+		cfg.Relations, cfg.RowsPerRel, cfg.Views = 3, rows, 2
+		g := workload.Generate(cfg)
+		def := workload.GenQueries(cfg, workload.QueryConfig{
+			Seed: 3, Count: 1, JoinWidth: 2, RangeFraction: 0.5,
+		})[0]
+		an, err := cview.Analyze(def, g.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("rows=%d/naive", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.EvalNaive(an.PSJ.Node(), g.Source); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rows=%d/optimized", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.EvalOptimized(an.PSJ, g.Source); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFourCase measures E10: the four-case interval analysis itself.
+func BenchmarkFourCase(b *testing.B) {
+	f := workload.NewFixture()
+	f.MustExec(`
+		relation P (N, BUDGET) key (N);
+		view V (P.N, P.BUDGET) where P.BUDGET >= 300000 and P.BUDGET <= 600000;
+		permit V to u;
+	`)
+	inst := f.Store.Instantiate("u", map[string]int{"P": 1}, core.DefaultOptions())
+	mr := inst.MetaRelFor("P", "P")
+	atom := algebra.Atom{L: "P.BUDGET", Op: value.GE, R: algebra.ConstOp(value.Int(400000))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MetaSelect(mr, atom, inst, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtendedMasks measures E11: the §6(3) extension against the
+// base pipeline on its motivating query.
+func BenchmarkExtendedMasks(b *testing.B) {
+	f := workload.Paper()
+	def := workload.MustQuery(`retrieve (PROJECT.NUMBER, PROJECT.BUDGET)`)
+	base := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+	extOpt := core.DefaultOptions()
+	extOpt.ExtendedMasks = true
+	ext := core.NewAuthorizer(f.Store, f.Source, extOpt)
+	b.Run("base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := base.Retrieve("Brown", def); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("extended", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ext.Retrieve("Brown", def); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMaskApply isolates mask application on a larger answer.
+func BenchmarkMaskApply(b *testing.B) {
+	cfg := workload.DefaultGen()
+	cfg.Relations, cfg.RowsPerRel, cfg.Views = 2, 5000, 2
+	cfg.Users = []string{"u0"}
+	g := workload.Generate(cfg)
+	def := workload.GenQueries(cfg, workload.QueryConfig{Seed: 9, Count: 1, JoinWidth: 1, RangeFraction: 1})[0]
+	auth := core.NewAuthorizer(g.Store, g.Source, core.DefaultOptions())
+	d, err := auth.Retrieve("u0", def)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Mask.Apply(d.Answer)
+	}
+}
+
+// BenchmarkIndexedPointQuery measures the secondary-index path: a point
+// selection on a large relation, against the same query with a range
+// predicate that cannot use the index.
+func BenchmarkIndexedPointQuery(b *testing.B) {
+	cfg := workload.DefaultGen()
+	cfg.Relations, cfg.RowsPerRel, cfg.Views = 1, 50000, 1
+	g := workload.Generate(cfg)
+	point := &algebra.PSJ{
+		Scans: []algebra.Scan{{Rel: "R0", Alias: "R0"}},
+		Preds: []algebra.Atom{{L: "R0.A0", Op: value.EQ, R: algebra.ConstOp(value.Int(12345))}},
+		Cols:  []string{"R0.A0", "R0.A2"},
+	}
+	scan := &algebra.PSJ{
+		Scans: []algebra.Scan{{Rel: "R0", Alias: "R0"}},
+		Preds: []algebra.Atom{{L: "R0.A0", Op: value.GE, R: algebra.ConstOp(value.Int(12345))},
+			{L: "R0.A0", Op: value.LE, R: algebra.ConstOp(value.Int(12345))}},
+		Cols: []string{"R0.A0", "R0.A2"},
+	}
+	b.Run("indexed-eq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.EvalOptimized(point, g.Source); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan-range", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.EvalOptimized(scan, g.Source); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAggregateQuery measures the grouped-fold path over the masked
+// delivery (the §6 aggregate extension).
+func BenchmarkAggregateQuery(b *testing.B) {
+	db := authdb.Open()
+	admin := db.Admin()
+	admin.MustExecScript(workload.PaperScript)
+	for i := 0; i < 2000; i++ {
+		admin.MustExec(fmt.Sprintf("insert into EMPLOYEE values (e%04d, t%d, %d)", i, i%20, 20000+i))
+	}
+	admin.MustExec(`view ALL_EMP (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)`)
+	admin.MustExec(`permit ALL_EMP to agg`)
+	s := db.Session("agg")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(`retrieve (EMPLOYEE.TITLE, count(EMPLOYEE.NAME), avg(EMPLOYEE.SALARY))`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command authbench regenerates the comparison and performance
+// experiments of EXPERIMENTS.md:
+//
+//	-exp sysr      E6: System R's all-or-nothing view windows vs masking
+//	-exp ingres    E7: INGRES query modification's row/column asymmetry
+//	-exp ablation  E8: the §4.2 refinements toggled one by one
+//	-exp overhead  E9: mask-derivation overhead and executor comparison
+//	-exp extended  E11: the §6(3) extension (masks with additional attributes)
+//	-exp all       everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"authdb/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: sysr, ingres, ablation, overhead, extended, all")
+	flag.Parse()
+	w := os.Stdout
+	switch *exp {
+	case "all":
+		experiments.SysR(w)
+		experiments.Ingres(w)
+		experiments.Ablation(w)
+		experiments.Overhead(w)
+		experiments.Extended(w)
+	case "sysr":
+		experiments.SysR(w)
+	case "ingres":
+		experiments.Ingres(w)
+	case "ablation":
+		experiments.Ablation(w)
+	case "overhead":
+		experiments.Overhead(w)
+	case "extended":
+		experiments.Extended(w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -exp %q\n", *exp)
+		os.Exit(2)
+	}
+}

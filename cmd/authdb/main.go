@@ -1,0 +1,154 @@
+// Command authdb is the interactive database front-end of the paper's §6:
+// administrators define relations, data, views, and permits; users issue
+// retrieve statements against the actual database and receive masked
+// answers accompanied by inferred permit statements. The meta-relations
+// stay transparent (inspect them with "show meta").
+//
+// Usage:
+//
+//	authdb [-user NAME] [-load FILE] [-db DIR] [-paper]
+//
+// REPL meta-commands:
+//
+//	\user NAME    switch to user NAME (unprivileged)
+//	\admin        switch to the administrator
+//	\save DIR     persist the database (schema, data, views, permits)
+//	\quit         exit
+//
+// Everything else is a statement; end statements with ';' or a newline.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"authdb"
+	"authdb/internal/workload"
+)
+
+func main() {
+	user := flag.String("user", "", "open the session as this (unprivileged) user; empty means administrator")
+	load := flag.String("load", "", "execute this statement script before the prompt")
+	dbdir := flag.String("db", "", "open a database directory saved with \\save")
+	paper := flag.Bool("paper", false, "preload the paper's Figure 1 example database")
+	flag.Parse()
+
+	var db *authdb.DB
+	if *dbdir != "" {
+		var err error
+		db, err = authdb.Load(*dbdir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("opened %s\n", *dbdir)
+	} else {
+		db = authdb.Open()
+	}
+	admin := db.Admin()
+	if *paper {
+		admin.MustExecScript(workload.PaperScript)
+		fmt.Println("loaded the paper's example database (users: Brown, Klein)")
+	}
+	if *load != "" {
+		script, err := os.ReadFile(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, err := admin.ExecScript(string(script)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %s\n", *load)
+	}
+
+	session := admin
+	who := "admin"
+	if *user != "" {
+		session = db.Session(*user)
+		who = *user
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() { fmt.Printf("%s> ", who) }
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, `\`):
+			switch {
+			case trimmed == `\quit` || trimmed == `\q`:
+				return
+			case trimmed == `\admin`:
+				session, who = admin, "admin"
+			case strings.HasPrefix(trimmed, `\user `):
+				name := strings.TrimSpace(strings.TrimPrefix(trimmed, `\user `))
+				if name == "" {
+					fmt.Println("usage: \\user NAME")
+				} else {
+					session, who = db.Session(name), name
+				}
+			case strings.HasPrefix(trimmed, `\save `):
+				dir := strings.TrimSpace(strings.TrimPrefix(trimmed, `\save `))
+				if err := db.Save(dir); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Println("saved to", dir)
+				}
+			default:
+				fmt.Println(`meta-commands: \user NAME, \admin, \save DIR, \quit`)
+			}
+			pending.Reset()
+			prompt()
+			continue
+		case trimmed == "" && pending.Len() == 0:
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		stmt := pending.String()
+		// A statement completes at ';' or at a blank line.
+		if !strings.Contains(stmt, ";") && trimmed != "" {
+			continue
+		}
+		pending.Reset()
+		run(session, stmt)
+		prompt()
+	}
+}
+
+func run(session *authdb.Session, stmt string) {
+	stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	if stmt == "" {
+		return
+	}
+	res, err := session.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.Text != "" {
+		fmt.Println(res.Text)
+	}
+	if res.Table != nil {
+		fmt.Print(res.Table)
+		switch {
+		case res.FullyAuthorized:
+			fmt.Println("(entire answer delivered)")
+		case res.Denied:
+			fmt.Println("(no portion of the answer is permitted)")
+		default:
+			for _, p := range res.Permits {
+				fmt.Println(p)
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command paperrepro regenerates the artifacts of Motro (ICDE 1989):
+// Figure 1 (the example database extended with access permissions), the
+// three worked authorization examples of §5 with their intermediate
+// meta-relations, and the §4.2 four-case selection walkthrough.
+//
+// Usage:
+//
+//	paperrepro [-part all|figure1|example1|example2|example3|cases]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"authdb/internal/report"
+	"authdb/internal/workload"
+)
+
+func main() {
+	part := flag.String("part", "all", "which artifact to regenerate: all, figure1, example1, example2, example3, cases")
+	flag.Parse()
+	w := os.Stdout
+	var err error
+	switch *part {
+	case "all":
+		err = report.All(w)
+	case "figure1":
+		report.Figure1(w)
+	case "example1":
+		err = report.Example(w, 1, "Brown", workload.Example1Query)
+	case "example2":
+		err = report.Example(w, 2, "Klein", workload.Example2Query)
+	case "example3":
+		err = report.Example(w, 3, "Brown", workload.Example3Query)
+	case "cases":
+		report.Cases(w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -part %q\n", *part)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

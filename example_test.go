@@ -1,0 +1,78 @@
+package authdb_test
+
+import (
+	"fmt"
+
+	"authdb"
+)
+
+// Example demonstrates the core flow: a permission granted as a view, a
+// query exceeding it, and the masked delivery with an inferred permit
+// statement.
+func Example() {
+	db := authdb.Open()
+	admin := db.Admin()
+	admin.MustExecScript(`
+		relation EMPLOYEE (NAME, TITLE, SALARY) key (NAME);
+		insert into EMPLOYEE values (Jones, manager, 26000);
+		view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY);
+		permit SAE to Brown;
+	`)
+	res, _ := db.Session("Brown").Exec(
+		`retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)`)
+	fmt.Print(res.Table)
+	fmt.Println(res.Permits[0])
+	// Output:
+	// | NAME  | TITLE | SALARY |
+	// | ----- | ----- | ------ |
+	// | Jones | -     | 26000  |
+	// permit (NAME, SALARY)
+}
+
+// ExampleSession_Exec_rowMasking shows row-level restriction: a view
+// bounded by a selection masks the rows outside it, and the inferred
+// permit names the condition.
+func ExampleSession_Exec_rowMasking() {
+	db := authdb.Open()
+	db.Admin().MustExecScript(`
+		relation PROJECT (NUMBER, SPONSOR, BUDGET) key (NUMBER);
+		insert into PROJECT values (bq-45, Acme, 300000);
+		insert into PROJECT values (sv-72, Apex, 450000);
+		view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+		  where PROJECT.SPONSOR = Acme;
+		permit PSA to Brown;
+	`)
+	res, _ := db.Session("Brown").Exec(`retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)`)
+	fmt.Print(res.Table)
+	fmt.Println(res.Permits[0])
+	// Output:
+	// | NUMBER | SPONSOR |
+	// | ------ | ------- |
+	// | bq-45  | Acme    |
+	// permit (NUMBER, SPONSOR) where SPONSOR = Acme
+}
+
+// ExampleOptions_extendedMasks shows the §6(3) extension: the view's
+// condition guards rows even when the query never requests the
+// conditioned attribute.
+func ExampleOptions_extendedMasks() {
+	opt := authdb.DefaultOptions()
+	opt.ExtendedMasks = true
+	db := authdb.Open(opt)
+	db.Admin().MustExecScript(`
+		relation PROJECT (NUMBER, SPONSOR, BUDGET) key (NUMBER);
+		insert into PROJECT values (bq-45, Acme, 300000);
+		insert into PROJECT values (sv-72, Apex, 450000);
+		view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+		  where PROJECT.SPONSOR = Acme;
+		permit PSA to Brown;
+	`)
+	res, _ := db.Session("Brown").Exec(`retrieve (PROJECT.NUMBER, PROJECT.BUDGET)`)
+	fmt.Print(res.Table)
+	fmt.Println(res.Permits[0])
+	// Output:
+	// | NUMBER | BUDGET |
+	// | ------ | ------ |
+	// | bq-45  | 300000 |
+	// permit (NUMBER, BUDGET) where SPONSOR = Acme
+}

@@ -1,0 +1,89 @@
+// Hospital: row- and column-level masking over patient data.
+//
+// A researcher is permitted a cohort view (oncology patients' ages and
+// diagnoses — no names), while a billing clerk is permitted names and
+// balances but no clinical data. Both direct the same query at the actual
+// PATIENT relation; each receives the portion their views justify, with
+// inferred permit statements explaining the shape.
+package main
+
+import (
+	"fmt"
+
+	"authdb"
+)
+
+func main() {
+	// ExtendedMasks (the paper's §6(3) extension) lets COHORT's
+	// WARD = oncology condition guard rows even when the query never
+	// asks for WARD.
+	opt := authdb.DefaultOptions()
+	opt.ExtendedMasks = true
+	db := authdb.Open(opt)
+	admin := db.Admin()
+
+	admin.MustExecScript(`
+		relation PATIENT (ID, NAME, WARD, AGE, DIAGNOSIS, BALANCE) key (ID);
+		insert into PATIENT values (1, Adams, oncology, 61, lymphoma, 1250);
+		insert into PATIENT values (2, Baker, cardiology, 54, arrhythmia, 830);
+		insert into PATIENT values (3, Chen, oncology, 47, melanoma, 2100);
+		insert into PATIENT values (4, Davis, oncology, 72, lymphoma, 45);
+		insert into PATIENT values (5, Evans, cardiology, 66, stenosis, 990);
+
+		-- The research cohort: clinical facts of oncology patients,
+		-- de-identified (no NAME, no BALANCE).
+		view COHORT (PATIENT.ID, PATIENT.WARD, PATIENT.AGE, PATIENT.DIAGNOSIS)
+		  where PATIENT.WARD = oncology;
+
+		-- Billing: identities and balances, nothing clinical.
+		view BILLING (PATIENT.ID, PATIENT.NAME, PATIENT.BALANCE);
+
+		permit COHORT to researcher;
+		permit BILLING to clerk;
+	`)
+
+	query := `
+		retrieve (PATIENT.ID, PATIENT.NAME, PATIENT.AGE, PATIENT.DIAGNOSIS, PATIENT.BALANCE)
+		  where PATIENT.AGE >= 50`
+
+	// The researcher's mask is row-restricted (oncology) AND
+	// column-restricted (no NAME, no BALANCE).
+	res, err := db.Session("researcher").Exec(query)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("=== researcher asks for patients aged 50+ ===")
+	fmt.Print(res.Table)
+	for _, p := range res.Permits {
+		fmt.Println(" ", p)
+	}
+	fmt.Println()
+
+	// The clerk's AGE-filtered request is denied outright: BILLING does
+	// not expose AGE, so even knowing WHICH patients are 50+ would leak
+	// clinical data. Selection attributes must be within the permission
+	// (Definition 2 requires the selected attribute to be projected).
+	res, err = db.Session("clerk").Exec(query)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("=== clerk asks the same: denied=%v, %d rows ===\n", res.Denied, len(res.Table.Rows))
+	fmt.Println()
+
+	// Within BILLING, the clerk is served in full.
+	res, err = db.Session("clerk").Exec(`
+		retrieve (PATIENT.ID, PATIENT.NAME, PATIENT.BALANCE)`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("=== clerk asks for names and balances ===")
+	fmt.Print(res.Table)
+	fmt.Printf("fully authorized: %v\n\n", res.FullyAuthorized)
+
+	res, err = db.Session("intruder").Exec(query)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("=== intruder (no permits): denied=%v, %d rows ===\n",
+		res.Denied, len(res.Table.Rows))
+}

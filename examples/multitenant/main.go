@@ -1,0 +1,93 @@
+// Multitenant: sponsor-scoped access in the style of modern row-level
+// security, expressed as the paper's view permissions. Each tenant is
+// permitted exactly the projects (and ticket traffic) of their own
+// sponsor; every tenant runs the *same* queries against the actual
+// relations and the masks carve out their slice.
+package main
+
+import (
+	"fmt"
+
+	"authdb"
+)
+
+func main() {
+	opt := authdb.DefaultOptions()
+	opt.ExtendedMasks = true // sponsor conditions guard rows even when unrequested
+	db := authdb.Open(opt)
+	admin := db.Admin()
+
+	admin.MustExecScript(`
+		relation PROJECT (NUMBER, SPONSOR, BUDGET) key (NUMBER);
+		relation TICKET (ID, P_NO, SEVERITY) key (ID);
+
+		insert into PROJECT values (bq-45, Acme, 300000);
+		insert into PROJECT values (bq-46, Acme, 120000);
+		insert into PROJECT values (sv-72, Apex, 450000);
+		insert into PROJECT values (sv-73, Apex, 90000);
+		insert into PROJECT values (vg-13, Summit, 150000);
+
+		insert into TICKET values (1, bq-45, 3);
+		insert into TICKET values (2, bq-45, 1);
+		insert into TICKET values (3, sv-72, 2);
+		insert into TICKET values (4, vg-13, 5);
+		insert into TICKET values (5, bq-46, 4);
+
+		view ACME_PROJECTS (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+		  where PROJECT.SPONSOR = Acme;
+		view ACME_TICKETS (TICKET.ID, TICKET.P_NO, TICKET.SEVERITY,
+		                   PROJECT.NUMBER, PROJECT.SPONSOR)
+		  where TICKET.P_NO = PROJECT.NUMBER
+		  and PROJECT.SPONSOR = Acme;
+
+		view APEX_PROJECTS (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+		  where PROJECT.SPONSOR = Apex;
+
+		permit ACME_PROJECTS to acme;
+		permit ACME_TICKETS to acme;
+		permit APEX_PROJECTS to apex;
+	`)
+
+	projectQuery := `retrieve (PROJECT.NUMBER, PROJECT.BUDGET)`
+	for _, tenant := range []string{"acme", "apex", "summit"} {
+		res, err := db.Session(tenant).Exec(projectQuery)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("== %s lists all projects ==\n", tenant)
+		if res.Denied {
+			fmt.Println("  (denied: no permitted view applies)")
+		} else {
+			fmt.Print(res.Table)
+			for _, p := range res.Permits {
+				fmt.Println(" ", p)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Cross-relation tenancy: tickets joined to projects; only Acme's
+	// traffic comes back for the acme tenant.
+	fmt.Println("== acme: severe tickets with their project budgets ==")
+	res, err := db.Session("acme").Exec(`
+		retrieve (TICKET.ID, TICKET.SEVERITY, PROJECT.NUMBER)
+		  where TICKET.P_NO = PROJECT.NUMBER
+		  and TICKET.SEVERITY >= 3`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res.Table)
+	for _, p := range res.Permits {
+		fmt.Println(" ", p)
+	}
+
+	// Tenants can write inside their slice only.
+	fmt.Println()
+	acme := db.Session("acme")
+	if _, err := acme.Exec(`insert into PROJECT values (bq-47, Acme, 50000)`); err == nil {
+		fmt.Println("acme added its own project bq-47")
+	}
+	if _, err := acme.Exec(`insert into PROJECT values (xx-01, Apex, 50000)`); err != nil {
+		fmt.Println("acme may not create Apex projects:", err)
+	}
+}

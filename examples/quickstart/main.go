@@ -1,0 +1,47 @@
+// Quickstart: define a relation, a view, a permit — then watch a query
+// that exceeds the permission come back masked, with an inferred permit
+// statement describing exactly what was delivered.
+package main
+
+import (
+	"fmt"
+
+	"authdb"
+)
+
+func main() {
+	db := authdb.Open()
+	admin := db.Admin()
+
+	admin.MustExecScript(`
+		relation EMPLOYEE (NAME, TITLE, SALARY) key (NAME);
+		insert into EMPLOYEE values (Jones, manager, 26000);
+		insert into EMPLOYEE values (Smith, technician, 22000);
+		insert into EMPLOYEE values (Brown, engineer, 32000);
+
+		-- SAE: the salaries of all employees (but not their titles).
+		view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY);
+		permit SAE to Brown;
+	`)
+
+	// Brown asks for more than SAE grants: titles included.
+	res, err := db.Session("Brown").Exec(`
+		retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)`)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("Brown's masked answer (TITLE is withheld):")
+	fmt.Print(res.Table)
+	fmt.Println()
+	fmt.Println("Inferred permit statements accompanying the answer:")
+	for _, p := range res.Permits {
+		fmt.Println(" ", p)
+	}
+
+	// The administrator sees everything.
+	full := admin.MustExec(`retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE, EMPLOYEE.SALARY)`)
+	fmt.Println()
+	fmt.Println("The unmasked answer, for comparison:")
+	fmt.Print(full.Table)
+}

@@ -1,0 +1,284 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"authdb/internal/relation"
+	"authdb/internal/value"
+)
+
+// EvalOptimized evaluates a PSJ query with predicate pushdown and hash
+// equi-joins. This is the "different strategy" §4.1 allows for the actual
+// relations, where "optimality is essential". The result is identical, as
+// a set, to EvalNaive on the same query.
+func EvalOptimized(p *PSJ, src Source) (*relation.Relation, error) {
+	if len(p.Scans) == 0 {
+		return nil, fmt.Errorf("empty query")
+	}
+	// Load each scan and push down the atoms local to it.
+	parts := make([]*relation.Relation, len(p.Scans))
+	aliasOf := make(map[string]int, len(p.Scans))
+	for i, s := range p.Scans {
+		base, err := src(s.Rel)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = base.Rename(relation.QualifyAttrs(s.Alias, base.Attrs))
+		aliasOf[s.Alias] = i
+	}
+	local := make([][]Atom, len(p.Scans))
+	var global []Atom
+	for _, a := range p.Preds {
+		i, ok := atomScan(a, parts)
+		if ok {
+			local[i] = append(local[i], a)
+		} else {
+			global = append(global, a)
+		}
+	}
+	for i := range parts {
+		if len(local[i]) == 0 {
+			continue
+		}
+		filtered, err := applyLocal(parts[i], local[i])
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = filtered
+	}
+
+	// Greedy left-deep join: start with the first scan; at each step prefer
+	// a part connected to the current result by an equality atom (hash
+	// join), falling back to a cartesian product.
+	cur := parts[0]
+	used := make([]bool, len(parts))
+	used[0] = true
+	remainingEq, remainingOther := splitEq(global)
+	for joined := 1; joined < len(parts); joined++ {
+		next, eqs := pickNext(cur, parts, used, remainingEq)
+		if len(eqs) > 0 {
+			cur = hashJoin(cur, parts[next], eqs)
+			remainingEq = removeAtoms(remainingEq, eqs)
+		} else {
+			cur = cur.Product(parts[next])
+		}
+		used[next] = true
+		// Apply any remaining predicates that became resolvable.
+		remainingEq = applyResolvable(&cur, remainingEq)
+		remainingOther = applyResolvable(&cur, remainingOther)
+	}
+	rest := append(append([]Atom(nil), remainingEq...), remainingOther...)
+	if len(rest) > 0 {
+		pred, err := CompilePred(cur.Attrs, rest)
+		if err != nil {
+			return nil, err
+		}
+		cur = cur.Select(pred)
+	}
+	idx := make([]int, len(p.Cols))
+	for i, c := range p.Cols {
+		j, err := resolve(cur.Attrs, c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	return cur.Project(idx), nil
+}
+
+// applyLocal filters one scan by its local atoms, serving the first
+// equality-with-constant atom from the relation's secondary hash index
+// (built lazily, invalidated by mutation) and the remainder by
+// evaluation.
+func applyLocal(part *relation.Relation, atoms []Atom) (*relation.Relation, error) {
+	eqAt := -1
+	var eqIdx int
+	for k, a := range atoms {
+		if a.Op != value.EQ || a.R.IsAttr {
+			continue
+		}
+		j, err := resolve(part.Attrs, a.L)
+		if err != nil {
+			return nil, err
+		}
+		eqAt, eqIdx = k, j
+		break
+	}
+	if eqAt < 0 {
+		pred, err := CompilePred(part.Attrs, atoms)
+		if err != nil {
+			return nil, err
+		}
+		return part.Select(pred), nil
+	}
+	rest := append(append([]Atom(nil), atoms[:eqAt]...), atoms[eqAt+1:]...)
+	pred := func(relation.Tuple) bool { return true }
+	if len(rest) > 0 {
+		var err error
+		pred, err = CompilePred(part.Attrs, rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := relation.New(part.Attrs)
+	for _, t := range part.LookupEq(eqIdx, atoms[eqAt].R.Const) {
+		if pred(t) {
+			out.Insert(t) //nolint:errcheck // arity correct by construction
+		}
+	}
+	return out, nil
+}
+
+// atomScan reports which single scan an atom is local to, if any.
+func atomScan(a Atom, parts []*relation.Relation) (int, bool) {
+	li := findPart(parts, a.L)
+	if li < 0 {
+		return 0, false
+	}
+	if !a.R.IsAttr {
+		return li, true
+	}
+	ri := findPart(parts, a.R.Attr)
+	if ri == li {
+		return li, true
+	}
+	return 0, false
+}
+
+func findPart(parts []*relation.Relation, attr string) int {
+	for i, p := range parts {
+		if hasAttr(p.Attrs, attr) {
+			return i
+		}
+	}
+	return -1
+}
+
+func hasAttr(attrs []string, a string) bool {
+	for _, x := range attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func splitEq(atoms []Atom) (eq, other []Atom) {
+	for _, a := range atoms {
+		if a.Op == value.EQ && a.R.IsAttr {
+			eq = append(eq, a)
+		} else {
+			other = append(other, a)
+		}
+	}
+	return eq, other
+}
+
+// pickNext chooses the unused part connected to cur by the most equality
+// atoms (0 means a cartesian product is unavoidable this step).
+func pickNext(cur *relation.Relation, parts []*relation.Relation, used []bool, eqs []Atom) (int, []Atom) {
+	bestIdx, bestEqs := -1, []Atom(nil)
+	for i := range parts {
+		if used[i] {
+			continue
+		}
+		var conn []Atom
+		for _, a := range eqs {
+			l, r := a.L, a.R.Attr
+			if (hasAttr(cur.Attrs, l) && hasAttr(parts[i].Attrs, r)) ||
+				(hasAttr(cur.Attrs, r) && hasAttr(parts[i].Attrs, l)) {
+				conn = append(conn, a)
+			}
+		}
+		if bestIdx < 0 || len(conn) > len(bestEqs) {
+			bestIdx, bestEqs = i, conn
+		}
+	}
+	return bestIdx, bestEqs
+}
+
+func removeAtoms(all, drop []Atom) []Atom {
+	out := all[:0:0]
+outer:
+	for _, a := range all {
+		for _, d := range drop {
+			if a == d {
+				continue outer
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// applyResolvable filters *cur by every atom fully resolvable against its
+// attributes and returns the atoms that remain outstanding.
+func applyResolvable(cur **relation.Relation, atoms []Atom) []Atom {
+	var ready, notReady []Atom
+	for _, a := range atoms {
+		ok := hasAttr((*cur).Attrs, a.L) && (!a.R.IsAttr || hasAttr((*cur).Attrs, a.R.Attr))
+		if ok {
+			ready = append(ready, a)
+		} else {
+			notReady = append(notReady, a)
+		}
+	}
+	if len(ready) > 0 {
+		pred, err := CompilePred((*cur).Attrs, ready)
+		if err == nil {
+			*cur = (*cur).Select(pred)
+		} else {
+			// Ambiguity means the atom was not truly resolvable; defer it.
+			notReady = append(notReady, ready...)
+		}
+	}
+	return notReady
+}
+
+// hashJoin joins l and r on the given equality atoms (each relating an
+// attribute of l to an attribute of r, in either order).
+func hashJoin(l, r *relation.Relation, eqs []Atom) *relation.Relation {
+	li := make([]int, len(eqs))
+	ri := make([]int, len(eqs))
+	for k, a := range eqs {
+		x, y := a.L, a.R.Attr
+		if !hasAttr(l.Attrs, x) {
+			x, y = y, x
+		}
+		li[k] = mustIndex(l.Attrs, x)
+		ri[k] = mustIndex(r.Attrs, y)
+	}
+	key := func(t relation.Tuple, idx []int) string {
+		var b strings.Builder
+		for _, i := range idx {
+			b.WriteByte(byte(t[i].Kind()))
+			b.WriteString(t[i].String())
+			b.WriteByte(0)
+		}
+		return b.String()
+	}
+	build := make(map[string][]relation.Tuple)
+	for _, t := range r.Tuples() {
+		k := key(t, ri)
+		build[k] = append(build[k], t)
+	}
+	out := relation.New(append(append([]string(nil), l.Attrs...), r.Attrs...))
+	for _, t := range l.Tuples() {
+		for _, u := range build[key(t, li)] {
+			row := make(relation.Tuple, 0, len(t)+len(u))
+			row = append(append(row, t...), u...)
+			out.Insert(row) //nolint:errcheck // arity correct by construction
+		}
+	}
+	return out
+}
+
+func mustIndex(attrs []string, a string) int {
+	for i, x := range attrs {
+		if x == a {
+			return i
+		}
+	}
+	panic("algebra: attribute vanished: " + a)
+}

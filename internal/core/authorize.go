@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"authdb/internal/algebra"
+	"authdb/internal/cview"
+	"authdb/internal/interval"
+	"authdb/internal/relation"
+)
+
+// Snapshot records the meta-relation after one phase of the meta-side
+// execution, for the paper's worked examples and for debugging.
+type Snapshot struct {
+	Phase string
+	Meta  *MetaRel
+}
+
+// Decision is the outcome of the authorization process of §5: the answer
+// A, the meta-answer A' as a mask, the masked answer actually delivered,
+// and the inferred permit statements describing the portions delivered.
+type Decision struct {
+	// PSJ is the normal-form plan of the request.
+	PSJ *algebra.PSJ
+	// Answer is the full (unmasked) answer A; callers must not deliver
+	// it to the user.
+	Answer *relation.Relation
+	// Masked is the deliverable relation: permitted values only, other
+	// cells null, fully-withheld rows dropped.
+	Masked *relation.Relation
+	// Mask is the meta-answer A'.
+	Mask *Mask
+	// Permits describes the delivered portions; empty when the entire
+	// answer is delivered (§5 Example 3) or when nothing is.
+	Permits []PermitStatement
+	// Stats summarises the masking.
+	Stats MaskStats
+	// FullyAuthorized reports that the mask grants the entire answer
+	// unconditionally.
+	FullyAuthorized bool
+	// Denied reports that the mask grants nothing.
+	Denied bool
+	// Views lists the user's permitted views that participated (after
+	// entirety pruning).
+	Views []string
+	// Intermediates holds the per-phase meta-relations when requested.
+	Intermediates []Snapshot
+	// Inst is the per-request view instantiation (variable names,
+	// provenance); useful for rendering intermediate meta-relations.
+	Inst *Instance
+}
+
+// Authorizer binds a database scheme, its relation instances, and an
+// authorization store; it implements the commutative diagram of Figure 2:
+// the query runs on the relations to yield A and, mirrored operator by
+// operator, on the meta-relations to yield A'.
+type Authorizer struct {
+	Store  *Store
+	Source algebra.Source
+	Opt    Options
+}
+
+// NewAuthorizer builds an authorizer with the given options.
+func NewAuthorizer(store *Store, src algebra.Source, opt Options) *Authorizer {
+	return &Authorizer{Store: store, Source: src, Opt: opt}
+}
+
+// Retrieve authorizes and answers the query def for user.
+func (a *Authorizer) Retrieve(user string, def *cview.Def) (*Decision, error) {
+	an, err := cview.Analyze(def, a.Store.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return a.RetrievePlan(user, an.PSJ)
+}
+
+// RetrievePlan runs the dual pipelines for an already-compiled plan.
+func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, error) {
+	if len(psj.Scans) == 0 {
+		return nil, fmt.Errorf("query scans no relations")
+	}
+	d := &Decision{PSJ: psj}
+
+	// Actual side. The §6(3) extension masks the wide (pre-projection)
+	// answer, so it executes the query without the final projection and
+	// derives the requested columns from it.
+	var err error
+	var wideAns *relation.Relation
+	var outIdx []int
+	if a.Opt.ExtendedMasks {
+		wideAttrs, aerr := psj.Attrs(a.Store.Schema())
+		if aerr != nil {
+			return nil, aerr
+		}
+		widePSJ := &algebra.PSJ{Scans: psj.Scans, Preds: psj.Preds, Cols: wideAttrs}
+		if a.Opt.OptimizedExec {
+			wideAns, err = algebra.EvalOptimized(widePSJ, a.Source)
+		} else {
+			wideAns, err = algebra.EvalNaive(widePSJ.Node(), a.Source)
+		}
+		if err != nil {
+			return nil, err
+		}
+		outIdx = make([]int, len(psj.Cols))
+		for i, c := range psj.Cols {
+			j := wideAns.AttrIndex(c)
+			if j < 0 {
+				return nil, fmt.Errorf("unknown output attribute %s", c)
+			}
+			outIdx[i] = j
+		}
+		d.Answer = wideAns.Project(outIdx)
+	} else if a.Opt.OptimizedExec {
+		d.Answer, err = algebra.EvalOptimized(psj, a.Source)
+	} else {
+		d.Answer, err = algebra.EvalNaive(psj.Node(), a.Source)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Meta side: instantiate the user's permitted views against the
+	// relations the query scans.
+	scanCount := make(map[string]int)
+	for _, s := range psj.Scans {
+		scanCount[s.Rel]++
+	}
+	inst := a.Store.Instantiate(user, scanCount, a.Opt)
+	d.Views = inst.Views()
+	d.Inst = inst
+
+	snap := func(phase string, mr *MetaRel) {
+		if a.Opt.CollectIntermediates {
+			d.Intermediates = append(d.Intermediates, Snapshot{Phase: phase, Meta: mr.clone()})
+		}
+	}
+
+	mr := inst.MetaRelFor(psj.Scans[0].Rel, psj.Scans[0].Alias)
+	snap("scan "+psj.Scans[0].Alias, mr)
+	for _, s := range psj.Scans[1:] {
+		next := inst.MetaRelFor(s.Rel, s.Alias)
+		snap("scan "+s.Alias, next)
+		mr = MetaProduct(mr, next, a.Opt.Padding)
+	}
+	if len(psj.Scans) > 1 {
+		snap("product", mr)
+	}
+	if a.Opt.PruneDangling {
+		mr.PruneDangling(inst)
+		mr.DedupeLoose()
+		if len(psj.Scans) > 1 {
+			snap("pruned", mr)
+		}
+	}
+	for _, sel := range groupSelections(psj.Preds) {
+		if sel.isConst {
+			mr, err = MetaSelectConst(mr, sel.attr, sel.lam, inst, a.Opt.FourCase)
+		} else {
+			mr, err = MetaSelect(mr, sel.atom, inst, a.Opt.FourCase)
+		}
+		if err != nil {
+			return nil, err
+		}
+		snap("select "+sel.label, mr)
+	}
+	if a.Opt.ExtendedMasks {
+		// §6(3): skip the meta projection so residual conditions on
+		// unrequested attributes survive, and mask the wide answer.
+		mr.PruneDangling(inst)
+		mr.DedupeLoose()
+		snap("extended mask", mr)
+		d.Mask = NewMask(mr, inst)
+		if a.Opt.Subsume {
+			d.Mask.Subsume()
+		}
+		d.Masked, d.Stats = d.Mask.ApplyExtended(wideAns, outIdx, psj.Cols)
+		d.FullyAuthorized = fullGrantExtended(d.Mask, outIdx)
+		d.Denied = !revealsAnything(d.Mask, outIdx)
+		if !d.FullyAuthorized && !d.Denied {
+			d.Permits = d.Mask.ExtendedPermits(outIdx)
+		}
+		return d, nil
+	}
+
+	mr, err = MetaProject(mr, psj.Cols)
+	if err != nil {
+		return nil, err
+	}
+	snap("project", mr)
+
+	// Fail closed: a meta-tuple still referencing absent membership
+	// tuples is not expressible within A' and must never mask data in,
+	// whatever the display options were.
+	mr.PruneDangling(inst)
+	mr.DedupeLoose()
+
+	d.Mask = NewMask(mr, inst)
+	if a.Opt.Subsume {
+		d.Mask.Subsume()
+	}
+	d.Masked, d.Stats = d.Mask.Apply(d.Answer)
+	d.FullyAuthorized = a.fullGrant(d.Mask)
+	d.Denied = len(d.Mask.Tuples) == 0
+	if !d.FullyAuthorized && !d.Denied {
+		d.Permits = d.Mask.Permits()
+	}
+	return d, nil
+}
+
+// selection is one meta-side selection step: either an attribute-constant
+// restriction in combined interval form, or a single attribute-attribute
+// atom.
+type selection struct {
+	isConst bool
+	attr    string
+	lam     interval.Interval
+	atom    algebra.Atom
+	label   string
+}
+
+// groupSelections merges every attribute-constant predicate on the same
+// attribute into one interval λ (applied at the first occurrence's
+// position); attribute-attribute predicates pass through in order. The
+// §4.2 four-case analysis needs the whole per-attribute restriction to
+// recognise clearing (λ ⇒ μ) and contradiction.
+func groupSelections(preds []algebra.Atom) []selection {
+	var out []selection
+	at := make(map[string]int)
+	for _, a := range preds {
+		if a.R.IsAttr {
+			out = append(out, selection{atom: a, label: a.String()})
+			continue
+		}
+		if i, ok := at[a.L]; ok {
+			out[i].lam = interval.Intersect(out[i].lam, interval.FromCmp(a.Op, a.R.Const))
+			out[i].label = a.L + " in " + out[i].lam.String()
+			continue
+		}
+		at[a.L] = len(out)
+		out = append(out, selection{
+			isConst: true,
+			attr:    a.L,
+			lam:     interval.FromCmp(a.Op, a.R.Const),
+			label:   a.String(),
+		})
+	}
+	return out
+}
+
+// fullGrant reports whether some mask tuple grants every attribute
+// unconditionally, in which case the answer is delivered without permit
+// statements (§5, Example 3).
+func (a *Authorizer) fullGrant(m *Mask) bool {
+	for _, t := range m.Tuples {
+		all := true
+		for _, c := range t.Cells {
+			if !c.Star || !c.IsBlank() {
+				all = false
+				break
+			}
+		}
+		if all && len(t.Cmps) == 0 {
+			return true
+		}
+	}
+	return false
+}

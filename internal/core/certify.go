@@ -1,0 +1,52 @@
+package core
+
+import (
+	"authdb/internal/cview"
+	"authdb/internal/relation"
+)
+
+// Certification is the outcome of the §1 generalization of the model:
+// "Given a query and set of database views that possess a particular
+// property, what views of the answer possess this property?" The paper's
+// companion instance (Motro's "Integrity = Validity + Completeness")
+// tags views as having guaranteed integrity; the certifier then
+// accompanies every answer with statements defining the portions whose
+// integrity is guaranteed — "resembling a certification of quality" —
+// without masking anything.
+type Certification struct {
+	// Answer is the full answer; certification never withholds data.
+	Answer *relation.Relation
+	// Statements describes the certified portions, one per meta-tuple of
+	// the quality's meta-answer; empty when the whole answer (Full) or
+	// none of it carries the property.
+	Statements []PermitStatement
+	// Full reports that the entire answer carries the property.
+	Full bool
+	// Stats counts the certified cells exactly as masking would have.
+	Stats MaskStats
+}
+
+// Certify runs the meta-side pipeline for a pseudo-principal naming a
+// quality rather than a user (tag views with Store.Permit(view, quality))
+// and returns the full answer together with inferred statements about the
+// portions possessing the property. It is the paper's integrity
+// instance of the machinery: same meta-relations, same extended
+// operators, no masking.
+func (a *Authorizer) Certify(quality string, def *cview.Def) (*Certification, error) {
+	d, err := a.Retrieve(quality, def)
+	if err != nil {
+		return nil, err
+	}
+	c := &Certification{
+		Answer: d.Answer,
+		Full:   d.FullyAuthorized,
+		Stats:  d.Stats,
+	}
+	if !d.FullyAuthorized {
+		c.Statements = d.Mask.Permits()
+		for i := range c.Statements {
+			c.Statements[i].Verb = "certified"
+		}
+	}
+	return c, nil
+}

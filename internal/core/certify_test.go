@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"authdb/internal/core"
+	"authdb/internal/workload"
+)
+
+// TestCertifyIntegrity exercises the §1 generalization: views tagged with
+// a quality ("validated") instead of a user; the certifier returns the
+// full answer plus statements describing the validated portions.
+func TestCertifyIntegrity(t *testing.T) {
+	f := workload.Paper()
+	// Only the Acme projects have validated data.
+	if err := f.Store.Permit("PSA", "validated"); err != nil {
+		t.Fatal(err)
+	}
+	auth := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+	c, err := auth.Certify("validated", workload.MustQuery(workload.Example1Query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Certification never masks: both large projects are in the answer.
+	if c.Answer.Len() != 2 {
+		t.Fatalf("answer rows = %d, want 2", c.Answer.Len())
+	}
+	if c.Full {
+		t.Fatal("only the Acme portion is validated")
+	}
+	if len(c.Statements) != 1 {
+		t.Fatalf("statements = %v", c.Statements)
+	}
+	want := "certified (NUMBER, SPONSOR) where SPONSOR = Acme"
+	if got := c.Statements[0].String(); got != want {
+		t.Fatalf("statement = %q, want %q", got, want)
+	}
+	// Stats mirror the masking counters: 2 of 4 cells are certified.
+	if c.Stats.RevealedCells != 2 || c.Stats.Cells != 4 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCertifyFull(t *testing.T) {
+	f := workload.Paper()
+	// SAE validates every employee's name and salary.
+	if err := f.Store.Permit("SAE", "validated"); err != nil {
+		t.Fatal(err)
+	}
+	auth := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+	c, err := auth.Certify("validated", workload.MustQuery(
+		`retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Full || len(c.Statements) != 0 {
+		t.Fatalf("full certification expected: full=%v statements=%v", c.Full, c.Statements)
+	}
+}
+
+func TestCertifyNothing(t *testing.T) {
+	f := workload.Paper()
+	auth := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+	c, err := auth.Certify("validated", workload.MustQuery(workload.Example1Query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Full || c.Answer.Len() != 2 {
+		t.Fatal("unvalidated data must still be answered in full")
+	}
+	if !c.Stats.Empty() {
+		t.Fatalf("nothing should be certified: %+v", c.Stats)
+	}
+}
+
+func TestPermitStatementVerb(t *testing.T) {
+	p := core.PermitStatement{Attrs: []string{"A"}}
+	if !strings.HasPrefix(p.String(), "permit (") {
+		t.Fatalf("default verb: %q", p.String())
+	}
+	p.Verb = "certified"
+	if !strings.HasPrefix(p.String(), "certified (") {
+		t.Fatalf("custom verb: %q", p.String())
+	}
+}

@@ -1,0 +1,28 @@
+package core_test
+
+import (
+	"testing"
+
+	"authdb/internal/core"
+	"authdb/internal/engine"
+)
+
+// newEngineFromFixtureScripts builds an engine mirroring disjFixture for
+// the session-path tests.
+func newEngineFromFixtureScripts(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(core.DefaultOptions())
+	admin := e.NewSession("admin", true)
+	if _, err := admin.ExecScript(`
+		relation PROJECT (NUMBER, SPONSOR, BUDGET) key (NUMBER);
+		insert into PROJECT values (bq-45, Acme, 300000);
+		insert into PROJECT values (sv-72, Apex, 450000);
+		view BIG_OR_ACME (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+		  where PROJECT.SPONSOR = Acme
+		  or PROJECT.BUDGET >= 400000;
+		permit BIG_OR_ACME to u;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

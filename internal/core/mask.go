@@ -1,0 +1,365 @@
+package core
+
+import (
+	"strings"
+
+	"authdb/internal/relation"
+	"authdb/internal/value"
+)
+
+// PermitStatement is one inferred permit accompanying a delivered answer
+// (§5): the attributes the user may see and the conditions under which.
+// The certifier reuses the form with a different verb ("certified").
+type PermitStatement struct {
+	Attrs []string
+	Conds []string
+	// Verb replaces "permit" when set.
+	Verb string
+}
+
+// String renders the statement, e.g.
+// "permit (NUMBER, SPONSOR) where SPONSOR = Acme".
+func (p PermitStatement) String() string {
+	verb := p.Verb
+	if verb == "" {
+		verb = "permit"
+	}
+	s := verb + " (" + strings.Join(p.Attrs, ", ") + ")"
+	if len(p.Conds) > 0 {
+		s += " where " + strings.Join(p.Conds, " and ")
+	}
+	return s
+}
+
+// DisplayNames maps qualified answer attributes to the paper's display
+// names: the bare attribute when unique, otherwise "ATTR:i" numbered by
+// occurrence (§5, footnote 4).
+func DisplayNames(attrs []string) []string {
+	count := make(map[string]int, len(attrs))
+	for _, a := range attrs {
+		_, bare := relation.SplitQualified(a)
+		count[bare]++
+	}
+	seen := make(map[string]int, len(attrs))
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		_, bare := relation.SplitQualified(a)
+		if count[bare] == 1 {
+			out[i] = bare
+			continue
+		}
+		seen[bare]++
+		out[i] = bare + ":" + itoa(seen[bare])
+	}
+	return out
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}
+
+// Matches reports whether an answer tuple satisfies the meta-tuple's
+// residual selection: every cell constraint holds, cells sharing a
+// variable hold equal values, and every symbolic comparison evaluates
+// true. A comparison whose variable has no cell cannot be verified and
+// fails closed.
+func (m *MetaTuple) Matches(t relation.Tuple) bool {
+	for k, c := range m.Cells {
+		if !c.Cons.Contains(t[k]) {
+			return false
+		}
+	}
+	varVal := make(map[VarID]value.Value)
+	for k, c := range m.Cells {
+		if c.Var == 0 {
+			continue
+		}
+		if prev, ok := varVal[c.Var]; ok {
+			if !prev.Equal(t[k]) {
+				return false
+			}
+		} else {
+			varVal[c.Var] = t[k]
+		}
+	}
+	for _, c := range m.Cmps {
+		x, xok := varVal[c.X]
+		y, yok := varVal[c.Y]
+		if !xok || !yok || !c.Op.Eval(x, y) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalOn evaluates the meta-tuple as the subview it defines over a
+// relation with matching attributes: the selection of its constraints
+// followed by the projection onto its starred attributes. This realises
+// the paper's reading of a meta-tuple as "defining a subview of the
+// corresponding relation" (§3) and backs the Proposition 1–3 property
+// tests.
+func (m *MetaTuple) EvalOn(r *relation.Relation) *relation.Relation {
+	var idx []int
+	for k, c := range m.Cells {
+		if c.Star {
+			idx = append(idx, k)
+		}
+	}
+	return r.Select(m.Matches).Project(idx)
+}
+
+// Mask is the meta-answer A' interpreted as a mask over the answer A.
+type Mask struct {
+	Attrs  []string
+	Tuples []*MetaTuple
+	// names resolves variable display names for rendering.
+	names func(VarID) string
+}
+
+// NewMask wraps the final meta-relation; inst may be nil.
+func NewMask(mr *MetaRel, inst *Instance) *Mask {
+	m := &Mask{Attrs: mr.Attrs, Tuples: mr.Tuples}
+	if inst != nil {
+		m.names = inst.VarName
+	}
+	return m
+}
+
+// MaskStats summarises what a mask delivered, for the experiment harness.
+type MaskStats struct {
+	// Rows and Cells count the full answer.
+	Rows, Cells int
+	// RevealedCells counts delivered values; RevealedRows rows with at
+	// least one delivered value.
+	RevealedCells, RevealedRows int
+	// FullRows counts rows delivered in their entirety.
+	FullRows int
+}
+
+// Full reports whether the entire answer was delivered.
+func (s MaskStats) Full() bool { return s.RevealedCells == s.Cells }
+
+// Empty reports whether nothing was delivered.
+func (s MaskStats) Empty() bool { return s.RevealedCells == 0 }
+
+// Apply masks the answer: each row is delivered through the single
+// best-matching mask tuple (the one starring the most attributes), with
+// every other value withheld (null). Rows no tuple matches are dropped,
+// per §6: the user receives "a derived relation, whose structure
+// corresponds to the request but whose tuples include only permitted
+// values".
+//
+// One tuple per row is a soundness requirement, not a simplification:
+// every delivered row is then a tuple of one inferred permitted subview.
+// Unioning the starred sets of several matching mask tuples into one row
+// would disclose the *correlation* between their columns — information
+// derivable from no permitted view (the perturbation property test
+// catches exactly this). When the correlation is legitimately available
+// the §4.2 self-join refinement produces a single merged tuple that
+// reveals the union by itself.
+func (m *Mask) Apply(ans *relation.Relation) (*relation.Relation, MaskStats) {
+	stats := MaskStats{Rows: ans.Len(), Cells: ans.Len() * ans.Arity()}
+	out := relation.New(ans.Attrs)
+	width := ans.Arity()
+	for _, t := range ans.Tuples() {
+		var best *MetaTuple
+		bestCount := 0
+		for _, mt := range m.Tuples {
+			if !mt.Matches(t) {
+				continue
+			}
+			count := 0
+			for _, c := range mt.Cells {
+				if c.Star {
+					count++
+				}
+			}
+			if count > bestCount {
+				best, bestCount = mt, count
+			}
+		}
+		revealed := make([]bool, width)
+		any := false
+		if best != nil {
+			for k, c := range best.Cells {
+				if c.Star {
+					revealed[k] = true
+					any = true
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		stats.RevealedRows++
+		row := make(relation.Tuple, width)
+		full := true
+		for k := range row {
+			if revealed[k] {
+				row[k] = t[k]
+				stats.RevealedCells++
+			} else {
+				row[k] = value.Null()
+				full = false
+			}
+		}
+		if full {
+			stats.FullRows++
+		}
+		out.Insert(row) //nolint:errcheck // arity correct by construction
+	}
+	return out, stats
+}
+
+// Permits renders one inferred permit statement per mask tuple, after
+// subsumption (when enabled by the caller) has removed redundant tuples.
+// A mask tuple that stars every attribute unconditionally yields no
+// statement only when it is the mask's sole tuple and covers everything —
+// the §5 Example 3 case is handled by the caller via MaskStats.Full.
+func (m *Mask) Permits() []PermitStatement {
+	names := DisplayNames(m.Attrs)
+	var out []PermitStatement
+	for _, mt := range m.Tuples {
+		out = append(out, m.permitOf(mt, names))
+	}
+	return out
+}
+
+func (m *Mask) permitOf(mt *MetaTuple, names []string) PermitStatement {
+	var p PermitStatement
+	for k, c := range mt.Cells {
+		if c.Star {
+			p.Attrs = append(p.Attrs, names[k])
+		}
+	}
+	// Variable groups: equalities between member attributes plus the
+	// shared interval rendered on the first member.
+	groups := make(map[VarID][]int)
+	var order []VarID
+	for k, c := range mt.Cells {
+		if c.Var != 0 {
+			if _, ok := groups[c.Var]; !ok {
+				order = append(order, c.Var)
+			}
+			groups[c.Var] = append(groups[c.Var], k)
+		}
+	}
+	seen := make(map[string]bool)
+	add := func(cond string) {
+		if !seen[cond] {
+			seen[cond] = true
+			p.Conds = append(p.Conds, cond)
+		}
+	}
+	for _, v := range order {
+		cells := groups[v]
+		for _, k := range cells[1:] {
+			add(names[cells[0]] + " = " + names[k])
+		}
+		for _, cond := range mt.Cells[cells[0]].Cons.Conds(names[cells[0]]) {
+			add(cond)
+		}
+	}
+	for k, c := range mt.Cells {
+		if c.Var != 0 {
+			continue
+		}
+		for _, cond := range c.Cons.Conds(names[k]) {
+			add(cond)
+		}
+	}
+	for _, c := range mt.Cmps {
+		x, xok := groups[c.X]
+		y, yok := groups[c.Y]
+		if xok && yok {
+			add(names[x[0]] + " " + c.Op.String() + " " + names[y[0]])
+		}
+	}
+	return p
+}
+
+// Subsume removes mask tuples whose reveal is covered by another tuple:
+// the survivor stars at least the same attributes and matches at least the
+// same rows. Equal tuples keep their first occurrence.
+func (m *Mask) Subsume() {
+	kept := m.Tuples[:0]
+	for i, t := range m.Tuples {
+		dominated := false
+		for j, u := range m.Tuples {
+			if i == j {
+				continue
+			}
+			if covers(u, t) {
+				// Break ties on mutual coverage by position.
+				if !covers(t, u) || j < i {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			kept = append(kept, t)
+		}
+	}
+	m.Tuples = kept
+}
+
+// covers reports whether mask tuple a reveals at least as much as b on
+// every possible answer tuple: a stars a superset of b's attributes, a's
+// constraints are implied by b's, a requires no variable equality beyond
+// b's, and a has no symbolic comparisons unless b carries the same ones.
+func covers(a, b *MetaTuple) bool {
+	for k := range a.Cells {
+		if b.Cells[k].Star && !a.Cells[k].Star {
+			return false
+		}
+		if !b.Cells[k].Cons.Implies(a.Cells[k].Cons) {
+			return false
+		}
+	}
+	// Every pair of cells a equates must be equated by b.
+	for k := range a.Cells {
+		if a.Cells[k].Var == 0 {
+			continue
+		}
+		for l := k + 1; l < len(a.Cells); l++ {
+			if a.Cells[l].Var == a.Cells[k].Var {
+				if b.Cells[k].Var == 0 || b.Cells[k].Var != b.Cells[l].Var {
+					return false
+				}
+			}
+		}
+	}
+	// Symbolic comparisons on a must appear on b verbatim after mapping
+	// through cell positions; require exact structural presence.
+	for _, c := range a.Cmps {
+		ka := firstCellOf(a, c.X)
+		la := firstCellOf(a, c.Y)
+		if ka < 0 || la < 0 {
+			return false
+		}
+		found := false
+		for _, d := range b.Cmps {
+			if d.Op == c.Op && firstCellOf(b, d.X) == ka && firstCellOf(b, d.Y) == la {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func firstCellOf(m *MetaTuple, v VarID) int {
+	for k, c := range m.Cells {
+		if c.Var == v {
+			return k
+		}
+	}
+	return -1
+}

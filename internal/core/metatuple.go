@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"authdb/internal/relation"
+	"authdb/internal/value"
+)
+
+// CompRef identifies one stored membership meta-tuple of a view; it is the
+// provenance unit for the theorem's pruning rule ("retain only those
+// meta-tuples that do not contain references to other meta-tuples").
+type CompRef struct {
+	View string
+	Idx  int
+}
+
+// VarCmp is a residual symbolic comparative subformula between two view
+// variables (e.g. "x5 < x6" for a view of employees earning less than
+// their project's budget). It corresponds to a COMPARISON row whose both
+// sides are variables; constant comparisons fold into cell intervals.
+type VarCmp struct {
+	X  VarID
+	Op value.Cmp
+	Y  VarID
+}
+
+// MetaTuple is one row of a meta-relation: a subview definition of the
+// relation (or relation product) whose attributes are carried by the
+// enclosing MetaRel. Views lists the owning view(s) — more than one after
+// a §4.2 self-join merge or a product combining several views' tuples.
+type MetaTuple struct {
+	Views []string
+	Cells []Cell
+	// Comps is the set of stored membership tuples this meta-tuple is
+	// built from; padding contributes nothing.
+	Comps []CompRef
+	// Cmps carries the symbolic variable comparisons of the owning views
+	// that involve any variable of this tuple; the mask applies them when
+	// filtering answer tuples, and involved variables are never cleared.
+	Cmps []VarCmp
+}
+
+// Clone returns a deep copy of the meta-tuple.
+func (m *MetaTuple) Clone() *MetaTuple { return m.clone() }
+
+// clone returns a deep copy.
+func (m *MetaTuple) clone() *MetaTuple {
+	return &MetaTuple{
+		Views: append([]string(nil), m.Views...),
+		Cells: append([]Cell(nil), m.Cells...),
+		Comps: append([]CompRef(nil), m.Comps...),
+		Cmps:  append([]VarCmp(nil), m.Cmps...),
+	}
+}
+
+// hasComp reports provenance membership.
+func (m *MetaTuple) hasComp(c CompRef) bool {
+	for _, x := range m.Comps {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// lockedVar reports whether v participates in one of the tuple's symbolic
+// comparisons; such variables are never cleared or folded away, since the
+// comparison must stay evaluable on the answer.
+func (m *MetaTuple) lockedVar(v VarID) bool {
+	for _, c := range m.Cmps {
+		if c.X == v || c.Y == v {
+			return true
+		}
+	}
+	return false
+}
+
+// varOccurrences returns the cell indices holding v.
+func (m *MetaTuple) varOccurrences(v VarID) []int {
+	var out []int
+	for i, c := range m.Cells {
+		if c.Var == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// mergeViews returns the sorted union of two view-name lists.
+func mergeViews(a, b []string) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MetaRel is a meta-relation (or an intermediate/final meta-answer): an
+// attribute list shared by a set of meta-tuples. Base meta-relations carry
+// the alias-qualified attributes of one scan; intermediates the
+// concatenation; the final meta-answer A' the query's projection list.
+type MetaRel struct {
+	Attrs  []string
+	Tuples []*MetaTuple
+}
+
+// NewMetaRel creates an empty meta-relation over the given attributes.
+func NewMetaRel(attrs []string) *MetaRel {
+	return &MetaRel{Attrs: append([]string(nil), attrs...)}
+}
+
+// attrIndex resolves a (possibly bare) attribute name like
+// algebra's resolver: exact match first, then unambiguous bare suffix.
+func (r *MetaRel) attrIndex(a string) (int, error) {
+	for i, x := range r.Attrs {
+		if x == a {
+			return i, nil
+		}
+	}
+	found := -1
+	for i, x := range r.Attrs {
+		if _, bare := relation.SplitQualified(x); bare == a {
+			if found >= 0 {
+				return -1, fmt.Errorf("ambiguous attribute %s in meta-relation", a)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("unknown attribute %s in meta-relation", a)
+	}
+	return found, nil
+}
+
+// clone returns a deep copy of the meta-relation.
+func (r *MetaRel) clone() *MetaRel {
+	out := NewMetaRel(r.Attrs)
+	for _, t := range r.Tuples {
+		out.Tuples = append(out.Tuples, t.clone())
+	}
+	return out
+}
+
+// canonicalKey builds a structural identity for replication removal:
+// cells (with variables renumbered by first occurrence so that combos
+// differing only in variable identity collapse) plus the view set.
+func (m *MetaTuple) canonicalKey() string {
+	var b strings.Builder
+	ren := make(map[VarID]int)
+	for _, c := range m.Cells {
+		if c.Star {
+			b.WriteByte('*')
+		}
+		if c.Var != 0 {
+			id, ok := ren[c.Var]
+			if !ok {
+				id = len(ren) + 1
+				ren[c.Var] = id
+			}
+			fmt.Fprintf(&b, "v%d", id)
+		}
+		b.WriteString(c.Cons.String())
+		b.WriteByte('|')
+	}
+	b.WriteByte('#')
+	for _, v := range m.Views {
+		b.WriteString(v)
+		b.WriteByte(',')
+	}
+	cmps := make([]string, 0, len(m.Cmps))
+	for _, c := range m.Cmps {
+		cmps = append(cmps, fmt.Sprintf("v%d%sv%d", ren[c.X], c.Op, ren[c.Y]))
+	}
+	sort.Strings(cmps)
+	b.WriteByte('#')
+	b.WriteString(strings.Join(cmps, ","))
+	return b.String()
+}
+
+// provenanceKey appends the sorted provenance set, so strict deduplication
+// never merges combinations built from different membership tuples — they
+// are not interchangeable under the dangling-reference pruning rule.
+func (m *MetaTuple) provenanceKey() string {
+	refs := make([]string, 0, len(m.Comps))
+	for _, c := range m.Comps {
+		refs = append(refs, fmt.Sprintf("%s/%d", c.View, c.Idx))
+	}
+	sort.Strings(refs)
+	return m.canonicalKey() + "@" + strings.Join(refs, ",")
+}
+
+// Dedupe removes strict replications: meta-tuples equal in cells, views,
+// symbolic comparisons, and provenance. Tuples differing only in
+// provenance are kept apart — under the dangling-reference rule one
+// combination may be expressible while its look-alike is not.
+func (r *MetaRel) Dedupe() {
+	r.dedupeBy(func(t *MetaTuple) string { return t.provenanceKey() })
+}
+
+// DedupeLoose removes replications up to variable renaming, ignoring
+// provenance (§5: "after replications are removed"). It is safe only once
+// dangling-reference pruning has run — all survivors' provenance is
+// complete, so structurally equal tuples are interchangeable.
+func (r *MetaRel) DedupeLoose() {
+	r.dedupeBy(func(t *MetaTuple) string { return t.canonicalKey() })
+}
+
+func (r *MetaRel) dedupeBy(key func(*MetaTuple) string) {
+	seen := make(map[string]bool, len(r.Tuples))
+	kept := r.Tuples[:0]
+	for _, t := range r.Tuples {
+		k := key(t)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kept = append(kept, t)
+	}
+	r.Tuples = kept
+}
+
+// Render prints the meta-relation in the figure notation. The inst maps
+// VarIDs to display names; nil falls back to "v<N>" names.
+func (r *MetaRel) Render(w interface{ Write([]byte) (int, error) }, title string, inst *Instance) {
+	name := func(v VarID) string { return fmt.Sprintf("v%d", v) }
+	if inst != nil {
+		name = inst.VarName
+	}
+	rows := make([][]string, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		row := make([]string, 0, len(t.Cells)+1)
+		row = append(row, strings.Join(t.Views, ","))
+		for _, c := range t.Cells {
+			row = append(row, c.render(name))
+		}
+		rows = append(rows, row)
+	}
+	attrs := append([]string{"VIEW"}, r.Attrs...)
+	relation.RenderTable(w, title, attrs, rows, true)
+}
+
+// String renders the meta-relation with fallback variable names.
+func (r *MetaRel) String() string {
+	var b strings.Builder
+	r.Render(&b, "", nil)
+	return b.String()
+}

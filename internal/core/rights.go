@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Right summarises one membership meta-tuple of a permitted view from one
+// relation's perspective: which of its attributes the view exposes and
+// under which local conditions. It is a human audit surface; the
+// authoritative semantics remain the meta-tuples themselves.
+type Right struct {
+	View string
+	// Branch is the disjunct index of the view (0 for conjunctive).
+	Branch int
+	// Relation is the base relation the right applies to.
+	Relation string
+	// Attrs are the exposed (starred) attributes.
+	Attrs []string
+	// Conds renders the constant restrictions on this relation's
+	// attributes; join conditions to other relations are summarised in
+	// Joins.
+	Conds []string
+	// Joins lists attributes whose values must match attributes of the
+	// view's other membership tuples.
+	Joins []string
+}
+
+// RightsFor enumerates, per relation, what the user's permits expose —
+// the flattened content of the meta-relations restricted to the user.
+func (s *Store) RightsFor(user string) []Right {
+	var out []Right
+	for _, name := range s.ViewsFor(user) {
+		for _, v := range s.Branches(name) {
+			for _, t := range v.Tuples {
+				rs := s.sch.Lookup(t.Rel)
+				if rs == nil {
+					continue
+				}
+				r := Right{View: name, Branch: v.Branch, Relation: t.Rel}
+				for ci, c := range t.Cells {
+					attr := rs.Attrs[ci]
+					if c.Star {
+						r.Attrs = append(r.Attrs, attr)
+					}
+					switch {
+					case c.Const != nil:
+						r.Conds = append(r.Conds, attr+" = "+c.Const.String())
+					case c.Var != "":
+						if iv, ok := v.VarIv[c.Var]; ok && !iv.IsFull() {
+							r.Conds = append(r.Conds, iv.Conds(attr)...)
+						}
+						if len(v.VarOccs[c.Var]) > 1 {
+							r.Joins = append(r.Joins, attr)
+						}
+					}
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Relation != out[j].Relation {
+			return out[i].Relation < out[j].Relation
+		}
+		return out[i].View < out[j].View
+	})
+	return out
+}
+
+// RenderRights writes the audit table for one user.
+func (s *Store) RenderRights(w io.Writer, user string) {
+	rights := s.RightsFor(user)
+	if len(rights) == 0 {
+		fmt.Fprintf(w, "user %s holds no permits\n", user)
+		return
+	}
+	fmt.Fprintf(w, "rights of %s:\n", user)
+	for _, r := range rights {
+		name := r.View
+		if r.Branch > 0 {
+			name = fmt.Sprintf("%s (branch %d)", r.View, r.Branch+1)
+		}
+		fmt.Fprintf(w, "  %-12s via %-16s exposes (%s)", r.Relation, name, strings.Join(r.Attrs, ", "))
+		if len(r.Conds) > 0 {
+			fmt.Fprintf(w, " where %s", strings.Join(r.Conds, " and "))
+		}
+		if len(r.Joins) > 0 {
+			fmt.Fprintf(w, " joined on (%s)", strings.Join(r.Joins, ", "))
+		}
+		fmt.Fprintln(w)
+	}
+}

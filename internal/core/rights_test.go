@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"authdb/internal/workload"
+)
+
+func TestRightsFor(t *testing.T) {
+	f := workload.Paper()
+	rights := f.Store.RightsFor("Klein")
+	// ELP contributes three membership tuples, EST two: five rows.
+	if len(rights) != 5 {
+		t.Fatalf("rights = %d, want 5\n%+v", len(rights), rights)
+	}
+	var sawBudget, sawAssignment bool
+	for _, r := range rights {
+		switch {
+		case r.Relation == "PROJECT" && r.View == "ELP":
+			sawBudget = true
+			if len(r.Conds) == 0 || !strings.Contains(r.Conds[0], "BUDGET >= 250000") {
+				t.Fatalf("PROJECT conds = %v", r.Conds)
+			}
+			if len(r.Attrs) != 2 { // NUMBER and BUDGET starred; SPONSOR hidden
+				t.Fatalf("PROJECT attrs = %v", r.Attrs)
+			}
+		case r.Relation == "ASSIGNMENT":
+			sawAssignment = true
+			if len(r.Joins) != 2 {
+				t.Fatalf("ASSIGNMENT joins = %v", r.Joins)
+			}
+		}
+	}
+	if !sawBudget || !sawAssignment {
+		t.Fatalf("rights incomplete: %+v", rights)
+	}
+	if got := f.Store.RightsFor("nobody"); len(got) != 0 {
+		t.Fatalf("unknown user rights = %v", got)
+	}
+}
+
+func TestRenderRights(t *testing.T) {
+	f := workload.Paper()
+	var b strings.Builder
+	f.Store.RenderRights(&b, "Brown")
+	out := b.String()
+	for _, want := range []string{
+		"rights of Brown:",
+		"via SAE",
+		"exposes (NAME, SALARY)",
+		"via PSA",
+		"SPONSOR = Acme",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rights rendering misses %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	f.Store.RenderRights(&b, "nobody")
+	if !strings.Contains(b.String(), "holds no permits") {
+		t.Fatalf("empty rights rendering:\n%s", b.String())
+	}
+}
+
+func TestRightsDisjunctiveBranches(t *testing.T) {
+	f := disjFixture(t)
+	rights := f.Store.RightsFor("u")
+	if len(rights) != 2 {
+		t.Fatalf("rights = %d, want 2 branches\n%+v", len(rights), rights)
+	}
+	if rights[0].Branch == rights[1].Branch {
+		t.Fatal("branches must be distinguished")
+	}
+	var b strings.Builder
+	f.Store.RenderRights(&b, "u")
+	if !strings.Contains(b.String(), "branch 2") {
+		t.Fatalf("branch labeling missing:\n%s", b.String())
+	}
+}

@@ -1,0 +1,222 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"authdb/internal/core"
+	"authdb/internal/parser"
+	"authdb/internal/workload"
+)
+
+// storedCellString renders one stored tuple the way Figure 1 prints it.
+func storedTupleString(v *core.StoredView, ti int) string {
+	var parts []string
+	for _, c := range v.Tuples[ti].Cells {
+		s := ""
+		switch {
+		case c.Const != nil:
+			s = c.Const.String()
+		case c.Var != "":
+			s = c.Var
+		}
+		if c.Star {
+			s += "*"
+		}
+		parts = append(parts, s)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// TestFigure1Compilation checks the compiled meta-tuples against Figure 1
+// cell for cell: stars, variables, constants, and blanks.
+func TestFigure1Compilation(t *testing.T) {
+	f := workload.Paper()
+	want := map[string][]struct {
+		rel   string
+		cells string
+	}{
+		"SAE": {{"EMPLOYEE", "(*, , *)"}},
+		"ELP": {
+			{"EMPLOYEE", "(x1*, *, )"},
+			{"PROJECT", "(x2*, , x3*)"},
+			{"ASSIGNMENT", "(x1*, x2*)"},
+		},
+		"EST": {
+			{"EMPLOYEE", "(*, x4*, )"},
+			{"EMPLOYEE", "(*, x4*, )"},
+		},
+		"PSA": {{"PROJECT", "(*, Acme*, *)"}},
+	}
+	for name, tuples := range want {
+		v := f.Store.View(name)
+		if v == nil {
+			t.Fatalf("view %s missing", name)
+		}
+		if len(v.Tuples) != len(tuples) {
+			t.Fatalf("view %s has %d tuples, want %d", name, len(v.Tuples), len(tuples))
+		}
+		for i, wantTuple := range tuples {
+			if v.Tuples[i].Rel != wantTuple.rel {
+				t.Errorf("%s tuple %d over %s, want %s", name, i, v.Tuples[i].Rel, wantTuple.rel)
+			}
+			got := storedTupleString(v, i)
+			got = strings.ReplaceAll(got, ", ,", ", ,") // keep literal blanks
+			if got != wantTuple.cells {
+				t.Errorf("%s tuple %d = %s, want %s", name, i, got, wantTuple.cells)
+			}
+		}
+	}
+	// ELP's x3 carries the COMPARISON constraint x3 >= 250000.
+	elp := f.Store.View("ELP")
+	iv, ok := elp.VarIv["x3"]
+	if !ok {
+		t.Fatal("x3 has no interval")
+	}
+	if !iv.Lo.Bounded || iv.Lo.V.AsInt() != 250000 || iv.Hi.Bounded {
+		t.Fatalf("x3 interval = %v", iv)
+	}
+	// x4 links EST's two tuples.
+	est := f.Store.View("EST")
+	if occs := est.VarOccs["x4"]; len(occs) != 2 {
+		t.Fatalf("x4 occurrences = %v", occs)
+	}
+}
+
+func TestFigure1Rendering(t *testing.T) {
+	f := workload.Paper()
+	var b strings.Builder
+	f.Store.RenderMeta(&b, "PROJECT")
+	out := b.String()
+	for _, want := range []string{"PROJECT'", "VIEW", "PSA", "Acme*", "ELP", "x2*", "x3*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("meta rendering misses %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	f.Store.RenderComparison(&b)
+	if !strings.Contains(b.String(), "x3") || !strings.Contains(b.String(), ">=") ||
+		!strings.Contains(b.String(), "250000") {
+		t.Fatalf("COMPARISON rendering:\n%s", b.String())
+	}
+	b.Reset()
+	f.Store.RenderPermission(&b)
+	for _, want := range []string{"Brown", "Klein", "SAE", "ELP", "EST", "PSA"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("PERMISSION rendering misses %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func mustView(t *testing.T, f *workload.Fixture, stmt string) {
+	t.Helper()
+	s, err := parser.Parse(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Store.DefineView(s.(parser.ViewStmt).Def); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func viewErr(t *testing.T, f *workload.Fixture, stmt string) error {
+	t.Helper()
+	s, err := parser.Parse(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Store.DefineView(s.(parser.ViewStmt).Def)
+}
+
+func TestDefineViewErrors(t *testing.T) {
+	f := workload.Paper()
+	cases := []string{
+		// Redefinition.
+		`view SAE (EMPLOYEE.NAME)`,
+		// Contradictory constant equalities.
+		`view C1 (PROJECT.NUMBER) where PROJECT.SPONSOR = Acme and PROJECT.SPONSOR = Apex`,
+		// Contradictory comparative against a pinned constant.
+		`view C2 (PROJECT.NUMBER) where PROJECT.BUDGET = 100 and PROJECT.BUDGET > 200`,
+		// Contradictory interval.
+		`view C3 (PROJECT.NUMBER) where PROJECT.BUDGET > 200 and PROJECT.BUDGET < 100`,
+		// A < A is unsatisfiable.
+		`view C4 (PROJECT.NUMBER) where PROJECT.BUDGET < PROJECT.BUDGET`,
+		// Unknown relation.
+		`view C5 (NOPE.X)`,
+	}
+	for _, stmt := range cases {
+		if err := viewErr(t, f, stmt); err == nil {
+			t.Errorf("%s: accepted", stmt)
+		}
+	}
+	// A ≤ A is trivially satisfiable and fine.
+	mustView(t, f, `view OK1 (PROJECT.NUMBER) where PROJECT.BUDGET <= PROJECT.BUDGET`)
+}
+
+func TestSymbolicComparisonCompiles(t *testing.T) {
+	f := workload.Paper()
+	mustView(t, f, `view RICH (EMPLOYEE.NAME, EMPLOYEE.SALARY, PROJECT.BUDGET)
+		where EMPLOYEE.SALARY > PROJECT.BUDGET`)
+	v := f.Store.View("RICH")
+	if len(v.VarCmps) != 1 {
+		t.Fatalf("VarCmps = %v", v.VarCmps)
+	}
+}
+
+func TestPermitRevokeDrop(t *testing.T) {
+	f := workload.Paper()
+	if err := f.Store.Permit("NOPE", "Brown"); err == nil {
+		t.Error("permit on unknown view accepted")
+	}
+	// Idempotent permit.
+	if err := f.Store.Permit("SAE", "Brown"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(f.Store.ViewsFor("Brown")); n != 3 {
+		t.Fatalf("Brown has %d views, want 3", n)
+	}
+	if !f.Store.Revoke("SAE", "Brown") {
+		t.Error("revoke failed")
+	}
+	if f.Store.Revoke("SAE", "Brown") {
+		t.Error("double revoke succeeded")
+	}
+	if !f.Store.DropView("EST") {
+		t.Error("drop failed")
+	}
+	if f.Store.DropView("EST") {
+		t.Error("double drop succeeded")
+	}
+	for _, u := range []string{"Brown", "Klein"} {
+		for _, v := range f.Store.ViewsFor(u) {
+			if v == "EST" {
+				t.Errorf("%s still permitted the dropped EST", u)
+			}
+		}
+	}
+	if got := f.Store.ViewNames(); len(got) != 3 {
+		t.Fatalf("ViewNames = %v", got)
+	}
+}
+
+func TestUsersSorted(t *testing.T) {
+	f := workload.Paper()
+	users := f.Store.Users()
+	if len(users) != 2 || users[0] != "Brown" || users[1] != "Klein" {
+		t.Fatalf("Users = %v", users)
+	}
+}
+
+func TestVarNamesGloballySequential(t *testing.T) {
+	// Figure 1 numbers variables across views in definition order:
+	// ELP gets x1..x3, EST gets x4.
+	f := workload.Paper()
+	if _, ok := f.Store.View("EST").VarIv["x4"]; !ok {
+		t.Fatalf("EST variables: %v", f.Store.View("EST").VarIv)
+	}
+	for _, x := range []string{"x1", "x2", "x3"} {
+		if _, ok := f.Store.View("ELP").VarIv[x]; !ok {
+			t.Fatalf("ELP misses %s: %v", x, f.Store.View("ELP").VarIv)
+		}
+	}
+}

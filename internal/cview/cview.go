@@ -1,0 +1,334 @@
+// Package cview represents conjunctive views and queries — the language of
+// the paper's §2. A view is a conjunctive relational calculus expression;
+// equivalently (and this is the form the package keeps) a
+// product–selection–projection expression: a projection list of
+// relation-occurrence attributes and a conjunction of primitive
+// conditions. Queries ("retrieve" statements) are unnamed views.
+//
+// Relation occurrences are addressed by alias: a bare relation name when
+// the relation appears once, or "R:1", "R:2", … when several membership
+// subformulas reference the same relation (paper §2, the EST example, and
+// §5 footnote 4).
+package cview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"authdb/internal/algebra"
+	"authdb/internal/relation"
+	"authdb/internal/value"
+)
+
+// ColRef names an attribute of a relation occurrence, e.g.
+// {Alias: "EMPLOYEE:1", Attr: "NAME"}.
+type ColRef struct {
+	Alias string
+	Attr  string
+}
+
+// Qualified returns the "alias.ATTR" form used throughout query processing.
+func (c ColRef) Qualified() string { return c.Alias + "." + c.Attr }
+
+// String renders the reference as written in statements.
+func (c ColRef) String() string { return c.Qualified() }
+
+// Term is the right-hand side of a condition: a column or a constant.
+type Term struct {
+	IsCol bool
+	Col   ColRef
+	Const value.Value
+}
+
+// ColTerm returns a column term.
+func ColTerm(alias, attr string) Term { return Term{IsCol: true, Col: ColRef{alias, attr}} }
+
+// ConstTerm returns a constant term.
+func ConstTerm(v value.Value) Term { return Term{Const: v} }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsCol {
+		return t.Col.String()
+	}
+	return t.Const.String()
+}
+
+// Cond is one primitive condition of a where-clause conjunction.
+type Cond struct {
+	L  ColRef
+	Op value.Cmp
+	R  Term
+}
+
+// String renders the condition.
+func (c Cond) String() string {
+	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
+}
+
+// Def is a view definition (Name set) or a retrieve query (Name empty):
+// a projection list and a conjunction of conditions. A view definition
+// may additionally carry alternative conjunctions in Or — the §6
+// disjunction extension: the view is the union of the conjunctive
+// branches Where, Or[0], Or[1], …, all sharing the projection list.
+// Queries must stay conjunctive (the paper's query language).
+type Def struct {
+	Name  string
+	Cols  []ColRef
+	Where []Cond
+	Or    [][]Cond
+}
+
+// Branches returns the conjunctive branches of the definition: just
+// Where for a conjunctive view, otherwise Where followed by each
+// alternative.
+func (d *Def) Branches() [][]Cond {
+	out := [][]Cond{d.Where}
+	return append(out, d.Or...)
+}
+
+// Branch returns a conjunctive definition for one branch.
+func (d *Def) Branch(i int) *Def {
+	return &Def{Name: d.Name, Cols: d.Cols, Where: d.Branches()[i]}
+}
+
+// String renders the definition as a view/retrieve statement in the
+// paper's concrete syntax.
+func (d *Def) String() string {
+	var b strings.Builder
+	if d.Name != "" {
+		b.WriteString("view " + d.Name + " (")
+	} else {
+		b.WriteString("retrieve (")
+	}
+	for i, c := range d.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString(")")
+	for bi, branch := range d.Branches() {
+		for i, c := range branch {
+			switch {
+			case bi == 0 && i == 0:
+				b.WriteString("\nwhere " + c.String())
+			case i == 0:
+				b.WriteString("\nor " + c.String())
+			default:
+				b.WriteString("\nand " + c.String())
+			}
+		}
+	}
+	return b.String()
+}
+
+// Aliases returns the relation occurrences referenced by the definition,
+// in first-mention order (projection list first, then conditions).
+func (d *Def) Aliases() []string {
+	var order []string
+	seen := make(map[string]bool)
+	add := func(a string) {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			order = append(order, a)
+		}
+	}
+	for _, c := range d.Cols {
+		add(c.Alias)
+	}
+	for _, c := range d.Where {
+		add(c.L.Alias)
+		if c.R.IsCol {
+			add(c.R.Col.Alias)
+		}
+	}
+	return order
+}
+
+// Analyzed is a validated definition together with its algebra plan.
+type Analyzed struct {
+	Def *Def
+	// Scans lists the relation occurrences in alias order.
+	Scans []algebra.Scan
+	// PSJ is the paper's products→selections→projections normal form.
+	PSJ *algebra.PSJ
+}
+
+// Analyze validates the definition against a database scheme and compiles
+// it to PSJ normal form. Disjunctive definitions cannot be analyzed as a
+// whole; analyze each Branch instead.
+func Analyze(d *Def, sch *relation.DBSchema) (*Analyzed, error) {
+	if len(d.Or) > 0 {
+		return nil, fmt.Errorf("%s: disjunctive definition; analyze its branches individually", defName(d))
+	}
+	if len(d.Cols) == 0 {
+		return nil, fmt.Errorf("%s: empty projection list", defName(d))
+	}
+	aliases := d.Aliases()
+	numbered := make(map[string][]int)
+	for _, a := range aliases {
+		base := relation.BaseOfAlias(a)
+		if sch.Lookup(base) == nil {
+			return nil, fmt.Errorf("%s: unknown relation %s", defName(d), base)
+		}
+		if i := strings.IndexByte(a, ':'); i >= 0 {
+			n := 0
+			if _, err := fmt.Sscanf(a[i+1:], "%d", &n); err != nil || n < 1 {
+				return nil, fmt.Errorf("%s: bad occurrence suffix in %s", defName(d), a)
+			}
+			numbered[base] = append(numbered[base], n)
+		} else {
+			numbered[base] = append(numbered[base], 0)
+		}
+	}
+	for base, ns := range numbered {
+		sort.Ints(ns)
+		if len(ns) > 1 && ns[0] == 0 {
+			return nil, fmt.Errorf("%s: relation %s referenced both bare and with :i suffixes", defName(d), base)
+		}
+	}
+	check := func(c ColRef) error {
+		rs := sch.Lookup(relation.BaseOfAlias(c.Alias))
+		if rs.AttrIndex(c.Attr) < 0 {
+			return fmt.Errorf("%s: relation %s has no attribute %s", defName(d), rs.Name, c.Attr)
+		}
+		return nil
+	}
+	for _, c := range d.Cols {
+		if err := check(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range d.Where {
+		if err := check(c.L); err != nil {
+			return nil, err
+		}
+		if c.R.IsCol {
+			if err := check(c.R.Col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	a := &Analyzed{Def: d}
+	p := &algebra.PSJ{}
+	for _, al := range aliases {
+		s := algebra.Scan{Rel: relation.BaseOfAlias(al), Alias: al}
+		a.Scans = append(a.Scans, s)
+		p.Scans = append(p.Scans, s)
+	}
+	for _, c := range d.Where {
+		atom := algebra.Atom{L: c.L.Qualified(), Op: c.Op}
+		if c.R.IsCol {
+			atom.R = algebra.AttrOp(c.R.Col.Qualified())
+		} else {
+			atom.R = algebra.ConstOp(c.R.Const)
+		}
+		p.Preds = append(p.Preds, atom)
+	}
+	for _, c := range d.Cols {
+		p.Cols = append(p.Cols, c.Qualified())
+	}
+	a.PSJ = p
+	return a, nil
+}
+
+func defName(d *Def) string {
+	if d.Name != "" {
+		return "view " + d.Name
+	}
+	return "retrieve"
+}
+
+// Calculus renders the definition as a domain relational calculus
+// expression in the notation of §2, for documentation and the REPL's
+// "show view" command.
+func Calculus(d *Def, sch *relation.DBSchema) (string, error) {
+	an, err := Analyze(d, sch)
+	if err != nil {
+		return "", err
+	}
+	// Assign a-variables to projected attributes and b-variables to the
+	// rest, honouring equality conditions by variable sharing.
+	names := make(map[string]string) // qualified attr -> variable or constant
+	var as, bs int
+	varFor := func(q string, projected bool) string {
+		if v, ok := names[q]; ok {
+			return v
+		}
+		var v string
+		if projected {
+			as++
+			v = fmt.Sprintf("a%d", as)
+		} else {
+			bs++
+			v = fmt.Sprintf("b%d", bs)
+		}
+		names[q] = v
+		return v
+	}
+	for _, c := range d.Cols {
+		varFor(c.Qualified(), true)
+	}
+	// Fold equalities: attr = const pins the constant; attr = attr shares.
+	var comparatives []string
+	for _, c := range d.Where {
+		lq := c.L.Qualified()
+		if c.Op == value.EQ {
+			if c.R.IsCol {
+				rq := c.R.Col.Qualified()
+				lv, lok := names[lq]
+				rv, rok := names[rq]
+				switch {
+				case lok && rok:
+					comparatives = append(comparatives, lv+" = "+rv)
+				case lok:
+					names[rq] = lv
+				case rok:
+					names[lq] = rv
+				default:
+					names[lq] = varFor(lq, false)
+					names[rq] = names[lq]
+				}
+			} else {
+				if v, ok := names[lq]; ok {
+					comparatives = append(comparatives, v+" = "+c.R.Const.String())
+				} else {
+					names[lq] = c.R.Const.String()
+				}
+			}
+			continue
+		}
+		lv := varFor(lq, false)
+		rv := c.R.Const.String()
+		if c.R.IsCol {
+			rv = varFor(c.R.Col.Qualified(), false)
+		}
+		comparatives = append(comparatives, lv+" "+c.Op.String()+" "+rv)
+	}
+	var memb []string
+	var existentials []string
+	for _, s := range an.Scans {
+		rs := sch.Lookup(s.Rel)
+		parts := make([]string, len(rs.Attrs))
+		for i, attr := range rs.Attrs {
+			q := s.Alias + "." + attr
+			v, ok := names[q]
+			if !ok {
+				v = varFor(q, false)
+			}
+			parts[i] = v
+		}
+		memb = append(memb, "("+strings.Join(parts, ", ")+") in "+s.Rel)
+	}
+	for i := 1; i <= bs; i++ {
+		existentials = append(existentials, fmt.Sprintf("(exists b%d)", i))
+	}
+	head := make([]string, len(d.Cols))
+	for i, c := range d.Cols {
+		head[i] = names[c.Qualified()]
+	}
+	body := strings.Join(append(memb, comparatives...), " and ")
+	return "{" + strings.Join(head, ", ") + " | " + strings.Join(existentials, "") + " " + body + "}", nil
+}

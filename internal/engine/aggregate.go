@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"authdb/internal/parser"
+	"authdb/internal/relation"
+	"authdb/internal/value"
+)
+
+// retrieveAgg answers an aggregate request: the plain definition runs
+// under the session's ordinary authorization first, and the aggregates
+// fold the *delivered* relation — every derived number is a function of
+// data the user is entitled to see, so no separate aggregate
+// authorization is needed (aggregate views, the other half of the §6
+// remark, are out of scope; see DESIGN.md).
+//
+// Grouping: the non-aggregated output columns form the group key. Rows
+// whose group key contains a withheld value are dropped; withheld values
+// inside a group are skipped by the fold (count counts non-null values),
+// and a group whose fold saw no values yields null.
+func (s *Session) retrieveAgg(p parser.Retrieve) (*Result, error) {
+	base, err := s.Retrieve(p.Def)
+	if err != nil {
+		return nil, err
+	}
+	in := base.Relation
+
+	aggAt := make(map[int]string, len(p.Aggs))
+	for _, a := range p.Aggs {
+		if a.Index < 0 || a.Index >= in.Arity() {
+			return nil, fmt.Errorf("aggregate index %d out of range", a.Index)
+		}
+		aggAt[a.Index] = a.Func
+	}
+	var groupIdx, foldIdx []int
+	for i := 0; i < in.Arity(); i++ {
+		if _, ok := aggAt[i]; ok {
+			foldIdx = append(foldIdx, i)
+		} else {
+			groupIdx = append(groupIdx, i)
+		}
+	}
+
+	type groupState struct {
+		key  relation.Tuple
+		acc  map[int]*aggAccum
+		seen bool
+	}
+	groups := make(map[string]*groupState)
+	var order []string
+	for _, t := range in.Tuples() {
+		skip := false
+		for _, gi := range groupIdx {
+			if t[gi].IsNull() {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		var kb strings.Builder
+		for _, gi := range groupIdx {
+			kb.WriteByte(byte(t[gi].Kind()))
+			kb.WriteString(t[gi].String())
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &groupState{key: t.Clone(), acc: make(map[int]*aggAccum, len(foldIdx))}
+			for _, fi := range foldIdx {
+				g.acc[fi] = &aggAccum{fn: aggAt[fi]}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.seen = true
+		for _, fi := range foldIdx {
+			g.acc[fi].add(t[fi])
+		}
+	}
+
+	attrs := make([]string, in.Arity())
+	for i, a := range in.Attrs {
+		if fn, ok := aggAt[i]; ok {
+			_, bare := relation.SplitQualified(a)
+			attrs[i] = fn + "(" + bare + ")"
+		} else {
+			attrs[i] = a
+		}
+	}
+	out := relation.New(attrs)
+	for _, k := range order {
+		g := groups[k]
+		row := make(relation.Tuple, in.Arity())
+		for _, gi := range groupIdx {
+			row[gi] = g.key[gi]
+		}
+		for _, fi := range foldIdx {
+			row[fi] = g.acc[fi].result()
+		}
+		out.Insert(row) //nolint:errcheck // arity correct by construction
+	}
+	return &Result{Relation: out, Permits: base.Permits, Decision: base.Decision}, nil
+}
+
+// aggAccum folds one aggregate over a group, skipping withheld values.
+type aggAccum struct {
+	fn    string
+	n     int64
+	sum   int64
+	min   value.Value
+	max   value.Value
+	first bool
+}
+
+func (a *aggAccum) add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.n++
+	if v.Kind() == value.KindInt {
+		a.sum += v.AsInt()
+	}
+	if !a.first {
+		a.min, a.max, a.first = v, v, true
+		return
+	}
+	if v.Less(a.min) {
+		a.min = v
+	}
+	if a.max.Less(v) {
+		a.max = v
+	}
+}
+
+func (a *aggAccum) result() value.Value {
+	if a.n == 0 {
+		return value.Null()
+	}
+	switch a.fn {
+	case "count":
+		return value.Int(a.n)
+	case "sum":
+		return value.Int(a.sum)
+	case "avg":
+		// Integer average, truncated toward zero (the value model has no
+		// floating point domain).
+		return value.Int(a.sum / a.n)
+	case "min":
+		return a.min
+	case "max":
+		return a.max
+	default:
+		return value.Null()
+	}
+}

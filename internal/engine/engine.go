@@ -1,0 +1,562 @@
+// Package engine implements the database front-end sketched in the
+// paper's §6: a catalog of relation schemes and instances, the
+// authorization store, and statement execution. Administrators define
+// relations, data, views, and permits; users submit retrieve statements
+// and receive a derived relation "whose structure corresponds to the
+// request but whose tuples include only permitted values, and a set of
+// inferred permit statements describing the portion delivered". The
+// meta-relations stay completely transparent.
+//
+// The engine also carries the §6 extension to update permissions: a
+// non-administrator may insert into or delete from a base relation only
+// within a permitted view that covers the relation entirely.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"authdb/internal/algebra"
+	"authdb/internal/core"
+	"authdb/internal/cview"
+	"authdb/internal/parser"
+	"authdb/internal/relation"
+	"authdb/internal/value"
+)
+
+// Engine is a thread-safe database instance with view-based authorization.
+type Engine struct {
+	mu    sync.RWMutex
+	sch   *relation.DBSchema
+	rels  map[string]*relation.Relation
+	store *core.Store
+	opt   core.Options
+}
+
+// New creates an empty engine with the given authorization options.
+func New(opt core.Options) *Engine {
+	sch := relation.NewDBSchema()
+	return &Engine{
+		sch:   sch,
+		rels:  make(map[string]*relation.Relation),
+		store: core.NewStore(sch),
+		opt:   opt,
+	}
+}
+
+// Store exposes the authorization store (admin surface).
+func (e *Engine) Store() *core.Store { return e.store }
+
+// Schema exposes the database scheme.
+func (e *Engine) Schema() *relation.DBSchema { return e.sch }
+
+// Options returns the engine's authorization options.
+func (e *Engine) Options() core.Options { return e.opt }
+
+// source resolves relations for the evaluators; callers hold e.mu.
+func (e *Engine) source(name string) (*relation.Relation, error) {
+	r, ok := e.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %s", name)
+	}
+	return r, nil
+}
+
+// Relation returns a defensive snapshot of a base relation (admin
+// surface).
+func (e *Engine) Relation(name string) (*relation.Relation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	r, err := e.source(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Clone(), nil
+}
+
+// Result is what a session's statement execution hands back.
+type Result struct {
+	// Text carries human-readable output for statements that produce no
+	// relation (DDL acknowledgements, show output).
+	Text string
+	// Relation is the delivered (possibly masked) relation of a
+	// retrieve, nil otherwise.
+	Relation *relation.Relation
+	// Permits accompanies a partially delivered answer.
+	Permits []core.PermitStatement
+	// Decision exposes the full authorization outcome of a retrieve.
+	Decision *core.Decision
+}
+
+// Session executes statements on behalf of one user. Admin sessions
+// bypass authorization; user sessions are masked and restricted.
+type Session struct {
+	eng   *Engine
+	user  string
+	admin bool
+}
+
+// NewSession opens a session for user; admin sessions may define schema,
+// views, and permits, and read everything.
+func (e *Engine) NewSession(user string, admin bool) *Session {
+	return &Session{eng: e, user: user, admin: admin}
+}
+
+// User returns the session's user name.
+func (s *Session) User() string { return s.user }
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(stmt string) (*Result, error) {
+	p, err := parser.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(p)
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error and returning the results so far.
+func (s *Session) ExecScript(script string) ([]*Result, error) {
+	stmts, err := parser.ParseProgram(script)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, p := range stmts {
+		r, err := s.ExecStmt(p)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(p parser.Stmt) (*Result, error) {
+	switch p := p.(type) {
+	case parser.CreateRelation:
+		return s.createRelation(p)
+	case parser.Insert:
+		return s.insert(p)
+	case parser.Delete:
+		return s.delete(p)
+	case parser.ViewStmt:
+		return s.defineView(p)
+	case parser.DropView:
+		return s.dropView(p)
+	case parser.Permit:
+		return s.permit(p)
+	case parser.Revoke:
+		return s.revoke(p)
+	case parser.Retrieve:
+		if len(p.Aggs) > 0 {
+			return s.retrieveAgg(p)
+		}
+		return s.Retrieve(p.Def)
+	case parser.Explain:
+		return s.explain(p.Def)
+	case parser.Show:
+		return s.show(p)
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", p)
+	}
+}
+
+func (s *Session) requireAdmin(what string) error {
+	if !s.admin {
+		return fmt.Errorf("%s requires an administrator session", what)
+	}
+	return nil
+}
+
+func (s *Session) createRelation(p parser.CreateRelation) (*Result, error) {
+	if err := s.requireAdmin("relation"); err != nil {
+		return nil, err
+	}
+	rs, err := relation.NewSchema(p.Name, p.Attrs, p.Key...)
+	if err != nil {
+		return nil, err
+	}
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	if err := s.eng.sch.Add(rs); err != nil {
+		return nil, err
+	}
+	s.eng.rels[p.Name] = relation.FromSchema(rs)
+	return &Result{Text: "defined relation " + rs.String()}, nil
+}
+
+func (s *Session) defineView(p parser.ViewStmt) (*Result, error) {
+	if err := s.requireAdmin("view"); err != nil {
+		return nil, err
+	}
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	if err := s.eng.store.DefineView(p.Def); err != nil {
+		return nil, err
+	}
+	return &Result{Text: "defined view " + p.Def.Name}, nil
+}
+
+func (s *Session) dropView(p parser.DropView) (*Result, error) {
+	if err := s.requireAdmin("drop view"); err != nil {
+		return nil, err
+	}
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	if !s.eng.store.DropView(p.Name) {
+		return nil, fmt.Errorf("unknown view %s", p.Name)
+	}
+	return &Result{Text: "dropped view " + p.Name}, nil
+}
+
+func (s *Session) permit(p parser.Permit) (*Result, error) {
+	if err := s.requireAdmin("permit"); err != nil {
+		return nil, err
+	}
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	if err := s.eng.store.Permit(p.View, p.User); err != nil {
+		return nil, err
+	}
+	return &Result{Text: fmt.Sprintf("permitted %s to %s", p.View, p.User)}, nil
+}
+
+func (s *Session) revoke(p parser.Revoke) (*Result, error) {
+	if err := s.requireAdmin("revoke"); err != nil {
+		return nil, err
+	}
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	if !s.eng.store.Revoke(p.View, p.User) {
+		return nil, fmt.Errorf("no permit of %s to %s", p.View, p.User)
+	}
+	return &Result{Text: fmt.Sprintf("revoked %s from %s", p.View, p.User)}, nil
+}
+
+// Retrieve answers a query definition under the session's authority.
+// Admin sessions receive the unmasked answer.
+func (s *Session) Retrieve(def *cview.Def) (*Result, error) {
+	s.eng.mu.RLock()
+	defer s.eng.mu.RUnlock()
+	if s.admin {
+		an, err := cview.Analyze(def, s.eng.sch)
+		if err != nil {
+			return nil, err
+		}
+		ans, err := algebra.EvalOptimized(an.PSJ, s.eng.source)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Relation: ans}, nil
+	}
+	auth := core.NewAuthorizer(s.eng.store, s.eng.source, s.eng.opt)
+	d, err := auth.Retrieve(s.user, def)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Relation: d.Masked, Permits: d.Permits, Decision: d}, nil
+}
+
+// Certify runs the integrity instance of the machinery (§1's
+// generalization): views tagged with the quality pseudo-principal define
+// the certified portions; the full answer is returned with certification
+// statements, nothing masked. Admin surface.
+func (e *Engine) Certify(quality, query string) (*core.Certification, error) {
+	p, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := p.(parser.Retrieve)
+	if !ok || len(r.Aggs) > 0 {
+		return nil, fmt.Errorf("certify expects a plain retrieve statement")
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	auth := core.NewAuthorizer(e.store, e.source, e.opt)
+	return auth.Certify(quality, r.Def)
+}
+
+// explain reports the dual pipeline of §5 for a query: the instantiated
+// meta-relations, each product/selection/projection phase, the final mask,
+// and the outcome. User sessions explain under their own permissions;
+// admin sessions must name a user via "explain" being unavailable — they
+// see everything anyway, so explain runs with the session user either way.
+func (s *Session) explain(def *cview.Def) (*Result, error) {
+	s.eng.mu.RLock()
+	defer s.eng.mu.RUnlock()
+	opt := s.eng.opt
+	opt.CollectIntermediates = true
+	auth := core.NewAuthorizer(s.eng.store, s.eng.source, opt)
+	d, err := auth.Retrieve(s.user, def)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %s\n", d.PSJ)
+	fmt.Fprintf(&b, "instantiated views: %s\n\n", strings.Join(d.Views, ", "))
+	for _, snap := range d.Intermediates {
+		snap.Meta.Render(&b, "after "+snap.Phase+":", d.Inst)
+		fmt.Fprintln(&b)
+	}
+	maskRel := &core.MetaRel{Attrs: d.Mask.Attrs, Tuples: d.Mask.Tuples}
+	maskRel.Render(&b, "mask A':", d.Inst)
+	fmt.Fprintln(&b)
+	switch {
+	case d.FullyAuthorized:
+		fmt.Fprintln(&b, "outcome: the entire answer is delivered")
+	case d.Denied:
+		fmt.Fprintln(&b, "outcome: nothing is delivered")
+	default:
+		fmt.Fprintf(&b, "outcome: partial (%d of %d cells)\n", d.Stats.RevealedCells, d.Stats.Cells)
+		for _, p := range d.Permits {
+			fmt.Fprintln(&b, p.String())
+		}
+	}
+	return &Result{Text: strings.TrimRight(b.String(), "\n"), Decision: d}, nil
+}
+
+func (s *Session) insert(p parser.Insert) (*Result, error) {
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	r, err := s.eng.source(p.Rel)
+	if err != nil {
+		return nil, err
+	}
+	t := relation.Tuple(p.Values)
+	if len(t) != r.Arity() {
+		return nil, fmt.Errorf("relation %s expects %d values, got %d", p.Rel, r.Arity(), len(t))
+	}
+	if !s.admin {
+		if err := s.authorizeUpdate(p.Rel, t); err != nil {
+			return nil, err
+		}
+	}
+	added, err := r.Insert(t)
+	if err != nil {
+		return nil, err
+	}
+	if !added {
+		return &Result{Text: "duplicate tuple ignored"}, nil
+	}
+	return &Result{Text: "inserted 1 tuple into " + p.Rel}, nil
+}
+
+func (s *Session) delete(p parser.Delete) (*Result, error) {
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	r, err := s.eng.source(p.Rel)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := deletePredicate(s.eng.sch, p)
+	if err != nil {
+		return nil, err
+	}
+	if !s.admin {
+		// Every tuple about to disappear must be within the user's
+		// update authority.
+		for _, t := range r.Tuples() {
+			if pred(t) {
+				if err := s.authorizeUpdate(p.Rel, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	n := r.Delete(pred)
+	return &Result{Text: fmt.Sprintf("deleted %d tuple(s) from %s", n, p.Rel)}, nil
+}
+
+// deletePredicate compiles the where clause of a delete against the base
+// relation's bare attributes.
+func deletePredicate(sch *relation.DBSchema, p parser.Delete) (func(relation.Tuple) bool, error) {
+	rs := sch.Lookup(p.Rel)
+	if rs == nil {
+		return nil, fmt.Errorf("unknown relation %s", p.Rel)
+	}
+	var atoms []algebra.Atom
+	for _, c := range p.Where {
+		if relation.BaseOfAlias(c.L.Alias) != p.Rel {
+			return nil, fmt.Errorf("delete from %s cannot reference %s", p.Rel, c.L.Alias)
+		}
+		a := algebra.Atom{L: c.L.Attr, Op: c.Op}
+		if c.R.IsCol {
+			if relation.BaseOfAlias(c.R.Col.Alias) != p.Rel {
+				return nil, fmt.Errorf("delete from %s cannot reference %s", p.Rel, c.R.Col.Alias)
+			}
+			a.R = algebra.AttrOp(c.R.Col.Attr)
+		} else {
+			a.R = algebra.ConstOp(c.R.Const)
+		}
+		atoms = append(atoms, a)
+	}
+	return algebra.CompilePred(rs.Attrs, atoms)
+}
+
+// authorizeUpdate implements the §6 update-permission extension: the tuple
+// must fall entirely within some permitted view — a view that covers every
+// attribute of the relation (all cells starred) with a single membership
+// tuple over it, whose selection the tuple satisfies. Join conditions to
+// other relations are checked against the current instance.
+func (s *Session) authorizeUpdate(rel string, t relation.Tuple) error {
+	store := s.eng.store
+	for _, vn := range store.ViewsFor(s.user) {
+		for _, v := range store.Branches(vn) {
+			for ti := range v.Tuples {
+				if v.Tuples[ti].Rel != rel {
+					continue
+				}
+				if s.updateCovered(v, ti, t) {
+					return nil
+				}
+			}
+		}
+	}
+	return fmt.Errorf("user %s may not modify %s: no permitted view covers the tuple", s.user, rel)
+}
+
+// updateCovered checks one membership tuple of a view against the tuple:
+// all attributes starred, constants and variable intervals satisfied, and
+// every join variable witnessed by the other relations' current contents.
+func (s *Session) updateCovered(v *core.StoredView, ti int, t relation.Tuple) bool {
+	st := v.Tuples[ti]
+	binding := make(map[string]value.Value)
+	for ci, c := range st.Cells {
+		if !c.Star {
+			return false
+		}
+		switch {
+		case c.Const != nil:
+			if !c.Const.Equal(t[ci]) {
+				return false
+			}
+		case c.Var != "":
+			if iv, ok := v.VarIv[c.Var]; ok && !iv.Contains(t[ci]) {
+				return false
+			}
+			if prev, ok := binding[c.Var]; ok {
+				if !prev.Equal(t[ci]) {
+					return false
+				}
+			} else {
+				binding[c.Var] = t[ci]
+			}
+		}
+	}
+	// Witness join variables in the other membership tuples.
+	for tj := range v.Tuples {
+		if tj == ti {
+			continue
+		}
+		if !s.witness(v, tj, binding) {
+			return false
+		}
+	}
+	return len(v.VarCmps) == 0 || s.cmpsHold(v, binding)
+}
+
+// witness reports whether some current tuple of the tj-th membership
+// relation satisfies its constants, intervals, and the bindings fixed so
+// far (unbound variables on this tuple are ignored — they stay
+// existential).
+func (s *Session) witness(v *core.StoredView, tj int, binding map[string]value.Value) bool {
+	st := v.Tuples[tj]
+	r, err := s.eng.source(st.Rel)
+	if err != nil {
+		return false
+	}
+	for _, u := range r.Tuples() {
+		ok := true
+		for ci, c := range st.Cells {
+			switch {
+			case c.Const != nil:
+				if !c.Const.Equal(u[ci]) {
+					ok = false
+				}
+			case c.Var != "":
+				if iv, okIv := v.VarIv[c.Var]; okIv && !iv.Contains(u[ci]) {
+					ok = false
+				}
+				if b, bound := binding[c.Var]; bound && !b.Equal(u[ci]) {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Session) cmpsHold(v *core.StoredView, binding map[string]value.Value) bool {
+	for _, c := range v.VarCmps {
+		x, xok := binding[c.X]
+		y, yok := binding[c.Y]
+		if !xok || !yok || !c.Op.Eval(x, y) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Session) show(p parser.Show) (*Result, error) {
+	s.eng.mu.RLock()
+	defer s.eng.mu.RUnlock()
+	var b strings.Builder
+	switch p.What {
+	case "relations":
+		for _, n := range s.eng.sch.Names() {
+			fmt.Fprintln(&b, s.eng.sch.Lookup(n).String())
+		}
+	case "views":
+		for _, n := range s.eng.store.ViewNames() {
+			fmt.Fprintln(&b, s.eng.store.ViewDef(n).String())
+			fmt.Fprintln(&b)
+		}
+	case "view":
+		def := s.eng.store.ViewDef(p.Arg)
+		if def == nil {
+			return nil, fmt.Errorf("unknown view %s", p.Arg)
+		}
+		fmt.Fprintln(&b, def.String())
+		for bi := range def.Branches() {
+			if calc, err := cview.Calculus(def.Branch(bi), s.eng.sch); err == nil {
+				fmt.Fprintln(&b, calc)
+			}
+		}
+	case "permissions":
+		s.eng.store.RenderPermission(&b)
+	case "rights":
+		if err := s.requireAdmin("show rights"); err != nil {
+			return nil, err
+		}
+		if p.Arg == "" {
+			return nil, fmt.Errorf("usage: show rights USER")
+		}
+		s.eng.store.RenderRights(&b, p.Arg)
+	case "meta":
+		if err := s.requireAdmin("show meta"); err != nil {
+			return nil, err
+		}
+		names := s.eng.sch.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			s.eng.store.RenderMeta(&b, n)
+			fmt.Fprintln(&b)
+		}
+		s.eng.store.RenderComparison(&b)
+		fmt.Fprintln(&b)
+		s.eng.store.RenderPermission(&b)
+	default:
+		return nil, fmt.Errorf("show %s: unknown target (relations, views, view NAME, permissions, rights USER, meta)", p.What)
+	}
+	return &Result{Text: strings.TrimRight(b.String(), "\n")}, nil
+}

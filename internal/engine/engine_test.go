@@ -1,0 +1,187 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"authdb/internal/core"
+	"authdb/internal/engine"
+	"authdb/internal/parser"
+	"authdb/internal/relation"
+	"authdb/internal/workload"
+)
+
+func paperEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(core.DefaultOptions())
+	admin := e.NewSession("admin", true)
+	if _, err := admin.ExecScript(workload.PaperScript); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAdminRetrieveUnmasked(t *testing.T) {
+	e := paperEngine(t)
+	res, err := e.NewSession("dba", true).Exec(`retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 3 {
+		t.Fatalf("rows = %d", res.Relation.Len())
+	}
+}
+
+func TestUserRetrieveMasked(t *testing.T) {
+	e := paperEngine(t)
+	res, err := e.NewSession("Klein", false).Exec(workload.Example2Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision == nil || res.Decision.FullyAuthorized {
+		t.Fatal("expected a partial decision")
+	}
+	if len(res.Permits) == 0 {
+		t.Fatal("permits missing")
+	}
+}
+
+func TestEngineRelationSnapshot(t *testing.T) {
+	e := paperEngine(t)
+	r, err := e.Relation("EMPLOYEE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the snapshot must not affect the engine.
+	r.Delete(func(relation.Tuple) bool { return true })
+	r2, _ := e.Relation("EMPLOYEE")
+	if r2.Len() != 3 {
+		t.Fatal("snapshot shares state")
+	}
+	if _, err := e.Relation("NOPE"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestInsertArityAndDuplicates(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+	if _, err := admin.Exec(`insert into EMPLOYEE values (OnlyTwo, fields)`); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	res, err := admin.Exec(`insert into EMPLOYEE values (Jones, manager, 26000)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "duplicate") {
+		t.Fatalf("duplicate insert text: %q", res.Text)
+	}
+}
+
+func TestDeleteWithPredicate(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+	res, err := admin.Exec(`delete from ASSIGNMENT where P_NO = vg-13`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "deleted 2") {
+		t.Fatalf("delete text: %q", res.Text)
+	}
+	if _, err := admin.Exec(`delete from ASSIGNMENT where PROJECT.NUMBER = vg-13`); err == nil {
+		t.Fatal("delete referencing another relation accepted")
+	}
+}
+
+func TestUpdateAuthorizationJoinWitness(t *testing.T) {
+	// ELP covers every attribute of ASSIGNMENT (E_NAME and P_NO are both
+	// starred); Klein may insert assignments only when the joined
+	// EMPLOYEE and PROJECT rows exist and the budget clears 250,000.
+	e := paperEngine(t)
+	klein := e.NewSession("Klein", false)
+	// Brown (an employee) onto sv-72 (450,000): within ELP.
+	if _, err := klein.Exec(`insert into ASSIGNMENT values (Smith, sv-72)`); err != nil {
+		t.Fatalf("insert within ELP failed: %v", err)
+	}
+	// vg-13 has budget 150,000 < 250,000: outside ELP.
+	if _, err := klein.Exec(`insert into ASSIGNMENT values (Jones, vg-13)`); err == nil {
+		t.Fatal("insert outside ELP's budget bound accepted")
+	}
+	// A nonexistent employee fails the join witness.
+	if _, err := klein.Exec(`insert into ASSIGNMENT values (Nobody, sv-72)`); err == nil {
+		t.Fatal("insert with no joining EMPLOYEE accepted")
+	}
+	// EMPLOYEE has an unstarred SALARY in ELP: no full coverage, so
+	// employee rows are not insertable by Klein.
+	if _, err := klein.Exec(`insert into EMPLOYEE values (New, clerk, 1000)`); err == nil {
+		t.Fatal("insert into partially covered EMPLOYEE accepted")
+	}
+	// Deletes obey the same coverage.
+	if _, err := klein.Exec(`delete from ASSIGNMENT where E_NAME = Smith and P_NO = sv-72`); err != nil {
+		t.Fatalf("delete within ELP failed: %v", err)
+	}
+	if _, err := klein.Exec(`delete from ASSIGNMENT where P_NO = vg-13`); err == nil {
+		t.Fatal("delete outside ELP accepted")
+	}
+}
+
+func TestSymbolicCmpGuardsUpdates(t *testing.T) {
+	e := engine.New(core.DefaultOptions())
+	admin := e.NewSession("admin", true)
+	if _, err := admin.ExecScript(`
+		relation T (A, B) key (A);
+		view LT (T.A, T.B) where T.A < T.B;
+		permit LT to u;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	u := e.NewSession("u", false)
+	if _, err := u.Exec(`insert into T values (1, 2)`); err != nil {
+		t.Fatalf("insert satisfying A < B failed: %v", err)
+	}
+	if _, err := u.Exec(`insert into T values (5, 2)`); err == nil {
+		t.Fatal("insert violating A < B accepted")
+	}
+}
+
+func TestExecStmtUnknown(t *testing.T) {
+	e := paperEngine(t)
+	s := e.NewSession("admin", true)
+	if _, err := s.Exec(`this is not a statement`); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := s.ExecStmt(parser.Show{What: "nonsense"}); err == nil {
+		t.Fatal("unknown show target accepted")
+	}
+}
+
+func TestExecScriptStopsAtError(t *testing.T) {
+	e := engine.New(core.DefaultOptions())
+	s := e.NewSession("admin", true)
+	rs, err := s.ExecScript(`
+		relation R (A);
+		insert into NOPE values (1);
+		relation S (B);
+	`)
+	if err == nil {
+		t.Fatal("script error swallowed")
+	}
+	if len(rs) != 1 {
+		t.Fatalf("results before error = %d, want 1", len(rs))
+	}
+	if e.Schema().Lookup("S") != nil {
+		t.Fatal("statement after the error executed")
+	}
+}
+
+func TestOptionsAccessor(t *testing.T) {
+	opt := core.DefaultOptions()
+	opt.SelfJoins = false
+	e := engine.New(opt)
+	if e.Options().SelfJoins {
+		t.Fatal("options not retained")
+	}
+	if e.Store() == nil || e.Schema() == nil {
+		t.Fatal("accessors nil")
+	}
+}

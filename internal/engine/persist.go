@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"authdb/internal/core"
+	"authdb/internal/relation"
+)
+
+// Save writes the engine's complete state into dir:
+//
+//	schema.authdb   relation statements
+//	views.authdb    view definitions and permits, in definition order
+//	data/REL.csv    one CSV per base relation
+//
+// The directory is created if missing; existing files are overwritten.
+// Load restores an equivalent engine.
+func (e *Engine) Save(dir string) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := os.MkdirAll(filepath.Join(dir, "data"), 0o755); err != nil {
+		return err
+	}
+
+	var schema strings.Builder
+	for _, name := range e.sch.Names() {
+		rs := e.sch.Lookup(name)
+		fmt.Fprintf(&schema, "relation %s (%s)", rs.Name, strings.Join(rs.Attrs, ", "))
+		if keys := rs.KeyAttrs(); len(keys) > 0 {
+			fmt.Fprintf(&schema, " key (%s)", strings.Join(keys, ", "))
+		}
+		schema.WriteString(";\n")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "schema.authdb"), []byte(schema.String()), 0o644); err != nil {
+		return err
+	}
+
+	var views strings.Builder
+	for _, name := range e.store.ViewNames() {
+		views.WriteString(e.store.ViewDef(name).String())
+		views.WriteString(";\n\n")
+	}
+	for _, user := range e.store.Users() {
+		for _, v := range e.store.ViewsFor(user) {
+			fmt.Fprintf(&views, "permit %s to %s;\n", v, user)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "views.authdb"), []byte(views.String()), 0o644); err != nil {
+		return err
+	}
+
+	for _, name := range e.sch.Names() {
+		f, err := os.Create(filepath.Join(dir, "data", name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := e.rels[name].WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load restores an engine saved with Save.
+func Load(dir string, opt core.Options) (*Engine, error) {
+	e := New(opt)
+	admin := e.NewSession("admin", true)
+
+	schema, err := os.ReadFile(filepath.Join(dir, "schema.authdb"))
+	if err != nil {
+		return nil, fmt.Errorf("loading schema: %w", err)
+	}
+	if _, err := admin.ExecScript(string(schema)); err != nil {
+		return nil, fmt.Errorf("replaying schema: %w", err)
+	}
+
+	for _, name := range e.sch.Names() {
+		path := filepath.Join(dir, "data", name+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", name, err)
+		}
+		rel, err := relation.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		if got, want := len(rel.Attrs), e.sch.Lookup(name).Arity(); got != want {
+			return nil, fmt.Errorf("%s: csv has %d columns, scheme %d", path, got, want)
+		}
+		for _, t := range rel.Tuples() {
+			if _, err := e.rels[name].Insert(t); err != nil {
+				return nil, fmt.Errorf("loading %s: %w", name, err)
+			}
+		}
+	}
+
+	views, err := os.ReadFile(filepath.Join(dir, "views.authdb"))
+	if err != nil {
+		return nil, fmt.Errorf("loading views: %w", err)
+	}
+	if _, err := admin.ExecScript(string(views)); err != nil {
+		return nil, fmt.Errorf("replaying views: %w", err)
+	}
+	return e, nil
+}

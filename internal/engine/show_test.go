@@ -1,0 +1,97 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShowVariants(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+	cases := []struct {
+		stmt string
+		want []string
+	}{
+		{`show relations`, []string{"EMPLOYEE = (NAME, TITLE, SALARY)", "PROJECT = (NUMBER, SPONSOR, BUDGET)"}},
+		{`show views`, []string{"view SAE", "view ELP", "view EST", "view PSA"}},
+		{`show view ELP`, []string{"PROJECT.BUDGET >= 250000", "in EMPLOYEE", "in ASSIGNMENT"}},
+		{`show permissions`, []string{"Brown", "Klein", "SAE", "ELP"}},
+		{`show meta`, []string{"EMPLOYEE'", "COMPARISON", "PERMISSION", "x3"}},
+	}
+	for _, c := range cases {
+		res, err := admin.Exec(c.stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.stmt, err)
+		}
+		for _, want := range c.want {
+			if !strings.Contains(res.Text, want) {
+				t.Fatalf("%s output misses %q:\n%s", c.stmt, want, res.Text)
+			}
+		}
+	}
+	if _, err := admin.Exec(`show view NOPE`); err == nil {
+		t.Fatal("show of unknown view accepted")
+	}
+	if _, err := admin.Exec(`show bananas`); err == nil {
+		t.Fatal("unknown show target accepted")
+	}
+	// Users may inspect views and permissions, but not the meta-relations.
+	user := e.NewSession("Brown", false)
+	if _, err := user.Exec(`show views`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.Exec(`show meta`); err == nil {
+		t.Fatal("show meta must require admin")
+	}
+}
+
+func TestDropViewAndRevokeAtEngine(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+	if _, err := admin.Exec(`revoke PSA from Brown`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Exec(`revoke PSA from Brown`); err == nil {
+		t.Fatal("double revoke accepted")
+	}
+	if _, err := admin.Exec(`drop view PSA`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Exec(`drop view PSA`); err == nil {
+		t.Fatal("double drop accepted")
+	}
+	if _, err := admin.Exec(`permit PSA to Brown`); err == nil {
+		t.Fatal("permit on dropped view accepted")
+	}
+	// Non-admin paths.
+	user := e.NewSession("Brown", false)
+	for _, stmt := range []string{`drop view SAE`, `revoke SAE from Brown`, `permit SAE to Brown`,
+		`view W (EMPLOYEE.NAME)`, `relation Z (A)`} {
+		if _, err := user.Exec(stmt); err == nil {
+			t.Fatalf("%q must require admin", stmt)
+		}
+	}
+	if s := user.User(); s != "Brown" {
+		t.Fatalf("User() = %q", s)
+	}
+}
+
+func TestCreateRelationErrors(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+	if _, err := admin.Exec(`relation EMPLOYEE (X)`); err == nil {
+		t.Fatal("duplicate relation accepted")
+	}
+	if _, err := admin.Exec(`relation BAD (A, A)`); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if _, err := admin.Exec(`relation BAD2 (A) key (B)`); err == nil {
+		t.Fatal("foreign key attr accepted")
+	}
+	if _, err := admin.Exec(`view BADVIEW (NOPE.X)`); err == nil {
+		t.Fatal("view over unknown relation accepted")
+	}
+	if _, err := admin.Exec(`permit NOPE to u`); err == nil {
+		t.Fatal("permit on unknown view accepted")
+	}
+}

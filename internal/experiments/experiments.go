@@ -1,0 +1,402 @@
+// Package experiments implements the comparison and performance
+// experiments of EXPERIMENTS.md (E6–E9, E11): System R versus masking,
+// INGRES query modification versus masking, the §4.2 refinement
+// ablations, the overhead sweeps, and the §6(3) extension. Each
+// experiment writes its table to an io.Writer; the authbench command
+// prints them and the tests assert their deterministic content.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"authdb/internal/algebra"
+	"authdb/internal/core"
+	"authdb/internal/cview"
+	"authdb/internal/qmod"
+	"authdb/internal/relation"
+	"authdb/internal/sysr"
+	"authdb/internal/value"
+	"authdb/internal/workload"
+)
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "================ %s ================\n\n", title)
+}
+
+// outcome classifies a Motro decision.
+func outcome(d *core.Decision) string {
+	switch {
+	case d.FullyAuthorized || (d.Stats.Full() && d.Stats.Rows > 0):
+		return "full"
+	case d.Denied || d.Stats.Empty():
+		return "denied"
+	default:
+		return "partial"
+	}
+}
+
+// expSysR demonstrates the §1 System R claim: with permission granted on a
+// view V of A and B (but not on A or B), System R rejects every query that
+// addresses A or B directly — even requests entirely within V — while the
+// masking model delivers the permitted portion.
+func SysR(w io.Writer) {
+	header(w, "E6: System R (views as access windows) vs masking")
+	f := workload.Paper()
+	sr := sysr.New(f.Schema, f.Source, "dba")
+	for _, name := range f.Store.ViewNames() {
+		if err := sr.DefineView("dba", f.Store.ViewDef(name)); err != nil {
+			panic(err)
+		}
+	}
+	for _, u := range f.Store.Users() {
+		for _, v := range f.Store.ViewsFor(u) {
+			if err := sr.GrantSelect("dba", u, v, false); err != nil {
+				panic(err)
+			}
+		}
+	}
+	auth := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+
+	queries := []struct {
+		label string
+		user  string
+		stmt  string
+	}{
+		{"Q1 within ELP, on base relations (paper §1)", "Klein", `
+			retrieve (EMPLOYEE.NAME)
+			  where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+			  and ASSIGNMENT.P_NO = PROJECT.NUMBER
+			  and PROJECT.BUDGET >= 400000`},
+		{"Q2 Example 1 on base relation", "Brown", workload.Example1Query},
+		{"Q3 Example 2 on base relations", "Klein", workload.Example2Query},
+		{"Q4 against the view ELP itself", "Klein", `
+			retrieve (ELP.NAME) where ELP.BUDGET >= 500000`},
+		{"Q5 all salaries on base relation", "Brown", `
+			retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)`},
+	}
+	fmt.Fprintf(w, "%-45s %-8s %-12s %-s\n", "query", "user", "System R", "mask model (cells delivered)")
+	for _, q := range queries {
+		def := workload.MustQuery(q.stmt)
+		srOut := "answered"
+		if _, err := sr.Query(q.user, def); err != nil {
+			srOut = "DENIED"
+		}
+		motro := "n/a (view reference)"
+		if viewFree(f.Schema, def) {
+			d, err := auth.Retrieve(q.user, def)
+			if err != nil {
+				panic(err)
+			}
+			motro = fmt.Sprintf("%s (%d/%d)", outcome(d), d.Stats.RevealedCells, d.Stats.Cells)
+		}
+		fmt.Fprintf(w, "%-45s %-8s %-12s %-s\n", q.label, q.user, srOut, motro)
+	}
+
+	// Aggregate over a synthetic workload of base-relation queries.
+	cfg := workload.DefaultGen()
+	cfg.Views, cfg.Relations, cfg.RowsPerRel = 6, 4, 128
+	g := workload.Generate(cfg)
+	gsr := sysr.New(g.Schema, g.Source, "dba")
+	for _, name := range g.Store.ViewNames() {
+		if err := gsr.DefineView("dba", g.Store.ViewDef(name)); err != nil {
+			panic(err)
+		}
+	}
+	for _, u := range g.Store.Users() {
+		for _, v := range g.Store.ViewsFor(u) {
+			if err := gsr.GrantSelect("dba", u, v, false); err != nil {
+				panic(err)
+			}
+		}
+	}
+	gauth := core.NewAuthorizer(g.Store, g.Source, core.DefaultOptions())
+	qs := workload.GenQueries(cfg, workload.QueryConfig{Seed: 7, Count: 40, JoinWidth: 2, ExtraAttrProb: 0.3, RangeFraction: 0.6, InsideProb: 0.6}, g.ViewDefsFor("u0")...)
+	var srDenied, mFull, mPartial, mDenied int
+	var cellsDelivered, cellsTotal int
+	for _, def := range qs {
+		if _, err := gsr.Query("u0", def); err != nil {
+			srDenied++
+		}
+		d, err := gauth.Retrieve("u0", def)
+		if err != nil {
+			panic(err)
+		}
+		switch outcome(d) {
+		case "full":
+			mFull++
+		case "partial":
+			mPartial++
+		default:
+			mDenied++
+		}
+		cellsDelivered += d.Stats.RevealedCells
+		cellsTotal += d.Stats.Cells
+	}
+	fmt.Fprintf(w, "\nsynthetic workload (%d base-relation queries, user u0):\n", len(qs))
+	fmt.Fprintf(w, "  System R:   %3d answered, %3d denied\n", len(qs)-srDenied, srDenied)
+	fmt.Fprintf(w, "  mask model: %3d full, %3d partial, %3d denied; %.1f%% of cells delivered\n\n",
+		mFull, mPartial, mDenied, pct(cellsDelivered, cellsTotal))
+}
+
+func viewFree(sch *relation.DBSchema, def *cview.Def) bool {
+	for _, a := range def.Aliases() {
+		if sch.Lookup(relation.BaseOfAlias(a)) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// expIngres demonstrates the §1 INGRES claims: (a) the row/column
+// asymmetry — a request exceeding the permitted columns is denied
+// outright instead of reduced; (b) permissions cannot span relations.
+func Ingres(w io.Writer) {
+	header(w, "E7: INGRES query modification vs masking")
+	f := workload.Paper()
+	ing := qmod.New(f.Schema, f.Source)
+	// Brown's SAE as an INGRES permission: NAME and SALARY, all rows.
+	must(ing.Permit(qmod.Permission{User: "Brown", Rel: "EMPLOYEE", Attrs: []string{"NAME", "SALARY"}}))
+	// Brown's PSA: all attributes of PROJECT where SPONSOR = Acme.
+	must(ing.Permit(qmod.Permission{User: "Brown", Rel: "PROJECT",
+		Attrs: []string{"NUMBER", "SPONSOR", "BUDGET"},
+		Quals: []qmod.Qual{{Attr: "SPONSOR", Op: value.EQ, Const: value.String("Acme")}}}))
+	auth := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+
+	queries := []struct {
+		label string
+		user  string
+		stmt  string
+	}{
+		{"Q1 permitted columns (NAME, SALARY)", "Brown", `retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)`},
+		{"Q2 one column too many (+TITLE)", "Brown", `retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY, EMPLOYEE.TITLE)`},
+		{"Q3 rows reduced by qualification", "Brown", `retrieve (PROJECT.NUMBER, PROJECT.BUDGET)`},
+		{"Q4 multi-relation view needed (ELP)", "Klein", workload.Example2Query},
+	}
+	fmt.Fprintf(w, "%-40s %-8s %-18s %-s\n", "query", "user", "INGRES", "mask model (cells delivered)")
+	for _, q := range queries {
+		def := workload.MustQuery(q.stmt)
+		ingOut := "answered"
+		if rel, _, err := ing.Query(q.user, def); err != nil {
+			ingOut = "DENIED"
+		} else {
+			ingOut = fmt.Sprintf("answered (%d rows)", rel.Len())
+		}
+		d, err := auth.Retrieve(q.user, def)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "%-40s %-8s %-18s %s (%d/%d)\n", q.label, q.user, ingOut,
+			outcome(d), d.Stats.RevealedCells, d.Stats.Cells)
+	}
+	fmt.Fprintf(w, "\nnote: Klein's ELP (a view of EMPLOYEE, ASSIGNMENT, and PROJECT) has no INGRES\n")
+	fmt.Fprintf(w, "encoding at all — permissions there are views of single relations (§1).\n\n")
+}
+
+// expAblation toggles the §4.2 refinements one at a time over the paper's
+// examples and a synthetic workload, reporting delivered cells.
+func Ablation(w io.Writer) {
+	header(w, "E8: ablation of the §4.2 refinements")
+	variants := []struct {
+		label string
+		mod   func(*core.Options)
+	}{
+		{"all refinements (default)", func(*core.Options) {}},
+		{"no product padding", func(o *core.Options) { o.Padding = false }},
+		{"no four-case selection", func(o *core.Options) { o.FourCase = false }},
+		{"no self-joins", func(o *core.Options) { o.SelfJoins = false }},
+		{"bare Definitions 1-3", func(o *core.Options) {
+			o.Padding, o.FourCase, o.SelfJoins = false, false, false
+		}},
+	}
+	type job struct {
+		label string
+		user  string
+		def   *cview.Def
+	}
+	jobs := []job{
+		{"Example 1", "Brown", workload.MustQuery(workload.Example1Query)},
+		{"Example 2", "Klein", workload.MustQuery(workload.Example2Query)},
+		{"Example 3", "Brown", workload.MustQuery(workload.Example3Query)},
+	}
+	cfg := workload.DefaultGen()
+	cfg.Views, cfg.Relations, cfg.RowsPerRel = 6, 4, 96
+	g := workload.Generate(cfg)
+	gqs := workload.GenQueries(cfg, workload.QueryConfig{Seed: 11, Count: 30, JoinWidth: 2, ExtraAttrProb: 0.3, RangeFraction: 0.7, DropSelAttrProb: 0.5, InsideProb: 0.6}, g.ViewDefsFor("u0")...)
+
+	fmt.Fprintf(w, "%-28s %-12s %-12s %-12s %-s\n", "variant", "Example 1", "Example 2", "Example 3", "synthetic cells delivered")
+	for _, v := range variants {
+		opt := core.DefaultOptions()
+		v.mod(&opt)
+		f := workload.Paper()
+		auth := core.NewAuthorizer(f.Store, f.Source, opt)
+		cells := make([]string, len(jobs))
+		for i, j := range jobs {
+			d, err := auth.Retrieve(j.user, j.def)
+			if err != nil {
+				panic(err)
+			}
+			cells[i] = fmt.Sprintf("%d/%d", d.Stats.RevealedCells, d.Stats.Cells)
+		}
+		gauth := core.NewAuthorizer(g.Store, g.Source, opt)
+		var delivered, total int
+		for _, def := range gqs {
+			d, err := gauth.Retrieve("u0", def)
+			if err != nil {
+				panic(err)
+			}
+			delivered += d.Stats.RevealedCells
+			total += d.Stats.Cells
+		}
+		fmt.Fprintf(w, "%-28s %-12s %-12s %-12s %d/%d (%.1f%%)\n",
+			v.label, cells[0], cells[1], cells[2], delivered, total, pct(delivered, total))
+	}
+
+	// Padding micro-demonstration (§4.2 first refinement): the query is a
+	// product of EMPLOYEE with PROJECT followed by a projection keeping
+	// only EMPLOYEE attributes; the user's only view is over EMPLOYEE, so
+	// every mask must ride a padding tuple across the product.
+	pf := workload.NewFixture()
+	pf.MustExec(`
+		relation EMPLOYEE (NAME, TITLE, SALARY) key (NAME);
+		relation PROJECT (NUMBER, SPONSOR, BUDGET) key (NUMBER);
+		insert into EMPLOYEE values (Jones, manager, 26000);
+		insert into PROJECT values (bq-45, Acme, 300000);
+		view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY);
+		permit SAE to Brown;
+	`)
+	pq := workload.MustQuery(`
+		retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY, PROJECT.SPONSOR)`)
+	fmt.Fprintf(w, "\npadding micro-demo (product with an uncovered relation, project EMPLOYEE side):\n")
+	for _, pad := range []bool{true, false} {
+		opt := core.DefaultOptions()
+		opt.Padding = pad
+		auth := core.NewAuthorizer(pf.Store, pf.Source, opt)
+		d, err := auth.Retrieve("Brown", pq)
+		must(err)
+		fmt.Fprintf(w, "  padding=%-5v -> %s (%d/%d cells)\n", pad, outcome(d), d.Stats.RevealedCells, d.Stats.Cells)
+	}
+	fmt.Fprintln(w)
+}
+
+// expOverhead measures the cost the paper waves at in §4.1: the
+// meta-relations are small, so the dual pipeline adds modest overhead to
+// query execution; and the actual side benefits from the optimized
+// strategy.
+func Overhead(w io.Writer) {
+	header(w, "E9: mask-derivation overhead and executor comparison")
+	fmt.Fprintf(w, "%-32s %12s %12s %10s %12s\n", "configuration", "exec only", "exec+mask", "overhead", "naive exec")
+	for _, rows := range []int{100, 1000, 5000} {
+		for _, views := range []int{2, 8, 32} {
+			cfg := workload.DefaultGen()
+			cfg.Relations, cfg.RowsPerRel, cfg.Views, cfg.ViewJoinWidth = 3, rows, views, 2
+			cfg.Users = []string{"u0"}
+			g := workload.Generate(cfg)
+			def := workload.GenQueries(cfg, workload.QueryConfig{Seed: 3, Count: 1, JoinWidth: 2, RangeFraction: 0.5})[0]
+			an, err := cview.Analyze(def, g.Schema)
+			must(err)
+
+			execOnly := timeIt(func() {
+				_, err := algebra.EvalOptimized(an.PSJ, g.Source)
+				must(err)
+			})
+			auth := core.NewAuthorizer(g.Store, g.Source, core.DefaultOptions())
+			execMask := timeIt(func() {
+				_, err := auth.RetrievePlan("u0", an.PSJ)
+				must(err)
+			})
+			naive := timeIt(func() {
+				_, err := algebra.EvalNaive(an.PSJ.Node(), g.Source)
+				must(err)
+			})
+			fmt.Fprintf(w, "rows=%-6d views=%-14d %12s %12s %9.2fx %12s\n",
+				rows, views, execOnly, execMask,
+				float64(execMask)/float64(execOnly), naive)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// expExtended measures E11: the §6(3) extension recovers masks whose
+// conditions mention attributes the query never requested, on the paper's
+// fixture and on the synthetic workload.
+func Extended(w io.Writer) {
+	header(w, "E11: §6(3) extension — masks with additional attributes")
+	f := workload.Paper()
+	queries := []struct {
+		label string
+		user  string
+		stmt  string
+	}{
+		{"PSA without requesting SPONSOR", "Brown", `retrieve (PROJECT.NUMBER, PROJECT.BUDGET)`},
+		{"Example 1 (SPONSOR requested)", "Brown", workload.Example1Query},
+		{"Example 2", "Klein", workload.Example2Query},
+	}
+	fmt.Fprintf(w, "%-36s %-8s %-16s %-s\n", "query", "user", "base model", "extended")
+	for _, q := range queries {
+		def := workload.MustQuery(q.stmt)
+		base := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+		extOpt := core.DefaultOptions()
+		extOpt.ExtendedMasks = true
+		ext := core.NewAuthorizer(f.Store, f.Source, extOpt)
+		db, err := base.Retrieve(q.user, def)
+		must(err)
+		de, err := ext.Retrieve(q.user, def)
+		must(err)
+		fmt.Fprintf(w, "%-36s %-8s %-16s %s (%d/%d)\n", q.label, q.user,
+			fmt.Sprintf("%s (%d/%d)", outcome(db), db.Stats.RevealedCells, db.Stats.Cells),
+			outcome(de), de.Stats.RevealedCells, de.Stats.Cells)
+	}
+
+	cfg := workload.DefaultGen()
+	cfg.Views, cfg.Relations = 6, 3
+	g := workload.Generate(cfg)
+	qs := workload.GenQueries(cfg, workload.QueryConfig{
+		Seed: 19, Count: 40, JoinWidth: 2, ExtraAttrProb: 0.3,
+		RangeFraction: 0.6, DropSelAttrProb: 0.5, InsideProb: 0.5,
+	}, g.ViewDefsFor("u0")...)
+	var baseCells, extCells, total int
+	for _, def := range qs {
+		base := core.NewAuthorizer(g.Store, g.Source, core.DefaultOptions())
+		extOpt := core.DefaultOptions()
+		extOpt.ExtendedMasks = true
+		ext := core.NewAuthorizer(g.Store, g.Source, extOpt)
+		db, err := base.Retrieve("u0", def)
+		must(err)
+		de, err := ext.Retrieve("u0", def)
+		must(err)
+		baseCells += db.Stats.RevealedCells
+		extCells += de.Stats.RevealedCells
+		total += db.Stats.Cells
+	}
+	fmt.Fprintf(w, "\nsynthetic workload (%d queries): base %d cells, extended %d cells (of %d)\n\n",
+		len(qs), baseCells, extCells, total)
+}
+
+func timeIt(f func()) time.Duration {
+	// Warm once, then take the best of three runs to damp noise.
+	f()
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best.Round(time.Microsecond)
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,240 @@
+package interval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"authdb/internal/value"
+)
+
+// domain is the finite probe set the property tests quantify over; with
+// integer endpoints drawn from the same range, it exercises every
+// boundary relationship.
+var domain = func() []value.Value {
+	var out []value.Value
+	for i := -2; i <= 12; i++ {
+		out = append(out, value.Int(int64(i)))
+	}
+	return append(out, value.String("a"), value.String("b"))
+}()
+
+func randInterval(r *rand.Rand) Interval {
+	pick := func() value.Value { return value.Int(int64(r.Intn(11))) }
+	var iv Interval
+	switch r.Intn(4) {
+	case 0:
+		iv = Full()
+	case 1:
+		iv = Point(pick())
+	case 2:
+		iv = FromCmp(value.Comparators[r.Intn(len(value.Comparators))], pick())
+	default:
+		iv = Intersect(
+			FromCmp(value.GE, pick()),
+			FromCmp(value.LE, pick()),
+		)
+	}
+	if r.Intn(3) == 0 {
+		iv = Intersect(iv, FromCmp(value.NE, pick()))
+	}
+	return iv
+}
+
+func TestZeroIntervalIsFull(t *testing.T) {
+	var iv Interval
+	if !iv.IsFull() {
+		t.Fatal("the zero Interval must be the full line")
+	}
+	for _, v := range domain {
+		if !iv.Contains(v) {
+			t.Fatalf("full interval must contain %v", v)
+		}
+	}
+}
+
+func TestFromCmpMatchesEval(t *testing.T) {
+	for _, op := range value.Comparators {
+		for _, c := range domain {
+			iv := FromCmp(op, c)
+			for _, v := range domain {
+				if iv.Contains(v) != op.Eval(v, c) {
+					t.Fatalf("FromCmp(%v, %v).Contains(%v) = %v, want %v",
+						op, c, v, iv.Contains(v), op.Eval(v, c))
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectIsConjunction(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randInterval(r), randInterval(r)
+		ab := Intersect(a, b)
+		for _, v := range domain {
+			if ab.Contains(v) != (a.Contains(v) && b.Contains(v)) {
+				t.Fatalf("Intersect(%v, %v).Contains(%v) wrong", a, b, v)
+			}
+		}
+	}
+}
+
+func TestImpliesIsSound(t *testing.T) {
+	// Soundness is the security-critical direction: Implies=true must
+	// never admit a value of a outside b (that would clear a restriction
+	// it shouldn't).
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		a, b := randInterval(r), randInterval(r)
+		if !a.Implies(b) {
+			continue
+		}
+		for _, v := range domain {
+			if a.Contains(v) && !b.Contains(v) {
+				t.Fatalf("%v implies %v claimed, but %v separates them", a, b, v)
+			}
+		}
+	}
+}
+
+func TestImpliesCompleteOnBounds(t *testing.T) {
+	// Bound-only intervals (no exclusions): Implies should be exact.
+	ge5 := FromCmp(value.GE, value.Int(5))
+	ge3 := FromCmp(value.GE, value.Int(3))
+	if !ge5.Implies(ge3) || ge3.Implies(ge5) {
+		t.Fatal("containment of one-sided bounds wrong")
+	}
+	in46 := Intersect(FromCmp(value.GE, value.Int(4)), FromCmp(value.LE, value.Int(6)))
+	in07 := Intersect(FromCmp(value.GE, value.Int(0)), FromCmp(value.LE, value.Int(7)))
+	if !in46.Implies(in07) || in07.Implies(in46) {
+		t.Fatal("containment of two-sided bounds wrong")
+	}
+	if !in46.Implies(Full()) || Full().Implies(in46) {
+		t.Fatal("full-interval containment wrong")
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Full(), false},
+		{Point(value.Int(3)), false},
+		{Intersect(FromCmp(value.GE, value.Int(5)), FromCmp(value.LE, value.Int(3))), true},
+		{Intersect(FromCmp(value.GT, value.Int(3)), FromCmp(value.LE, value.Int(3))), true},
+		{Intersect(Point(value.Int(3)), FromCmp(value.NE, value.Int(3))), true},
+		{Intersect(FromCmp(value.GE, value.Int(3)), FromCmp(value.LE, value.Int(3))), false},
+	}
+	for _, c := range cases {
+		if c.iv.IsEmpty() != c.want {
+			t.Errorf("IsEmpty(%v) = %v, want %v", c.iv, c.iv.IsEmpty(), c.want)
+		}
+	}
+}
+
+func TestEmptyContainsNothing(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		iv := randInterval(r)
+		if !iv.IsEmpty() {
+			continue
+		}
+		for _, v := range domain {
+			if iv.Contains(v) {
+				t.Fatalf("empty interval %v contains %v", iv, v)
+			}
+		}
+	}
+}
+
+func TestIsPoint(t *testing.T) {
+	if v, ok := Point(value.Int(9)).IsPoint(); !ok || v.AsInt() != 9 {
+		t.Fatal("Point not detected")
+	}
+	if _, ok := Full().IsPoint(); ok {
+		t.Fatal("Full is not a point")
+	}
+	if _, ok := FromCmp(value.GE, value.Int(1)).IsPoint(); ok {
+		t.Fatal("one-sided bound is not a point")
+	}
+	notted := Intersect(Point(value.Int(9)), FromCmp(value.NE, value.Int(9)))
+	if _, ok := notted.IsPoint(); ok {
+		t.Fatal("excluded point is not a point")
+	}
+}
+
+func TestIntersectCanonicalizesExclusions(t *testing.T) {
+	// An exclusion outside the bounds carries no information and must be
+	// dropped so Equal works structurally.
+	a := Intersect(FromCmp(value.GE, value.Int(5)), FromCmp(value.NE, value.Int(1)))
+	b := FromCmp(value.GE, value.Int(5))
+	if !a.Equal(b) {
+		t.Fatalf("out-of-range exclusion kept: %v vs %v", a, b)
+	}
+}
+
+func TestEqualAndExcluded(t *testing.T) {
+	a := Intersect(Full(), FromCmp(value.NE, value.Int(4)))
+	b := Intersect(Full(), FromCmp(value.NE, value.Int(4)))
+	if !a.Equal(b) {
+		t.Fatal("identical intervals unequal")
+	}
+	if len(a.Excluded()) != 1 || a.Excluded()[0].AsInt() != 4 {
+		t.Fatal("Excluded() wrong")
+	}
+	if a.Equal(Full()) {
+		t.Fatal("exclusion ignored by Equal")
+	}
+}
+
+func TestConds(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want []string
+	}{
+		{Full(), nil},
+		{Point(value.String("Acme")), []string{"SPONSOR = Acme"}},
+		{FromCmp(value.GE, value.Int(250000)), []string{"SPONSOR >= 250000"}},
+		{FromCmp(value.LT, value.Int(10)), []string{"SPONSOR < 10"}},
+		{FromCmp(value.NE, value.Int(3)), []string{"SPONSOR != 3"}},
+		{Intersect(FromCmp(value.GT, value.Int(1)), FromCmp(value.LE, value.Int(5))),
+			[]string{"SPONSOR > 1", "SPONSOR <= 5"}},
+	}
+	for _, c := range cases {
+		got := c.iv.Conds("SPONSOR")
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("Conds(%v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if Full().String() != "(-inf, +inf)" {
+		t.Error(Full().String())
+	}
+	iv := Intersect(FromCmp(value.GE, value.Int(3)), FromCmp(value.LT, value.Int(8)))
+	if iv.String() != "[3, 8)" {
+		t.Error(iv.String())
+	}
+}
+
+func TestQuickIntersectCommutes(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	cfg := &quick.Config{Rand: r, MaxCount: 300}
+	if err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randInterval(rr), randInterval(rr)
+		x, y := Intersect(a, b), Intersect(b, a)
+		for _, v := range domain {
+			if x.Contains(v) != y.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseProgram checks the parser never panics and that anything it
+// accepts round-trips through the definitions' String form where one
+// exists.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		`relation EMPLOYEE (NAME, TITLE, SALARY) key (NAME)`,
+		`insert into PROJECT values (bq-45, Acme, 300000)`,
+		`view ELP (EMPLOYEE.NAME) where PROJECT.BUDGET >= 250000`,
+		`view V (R.A) where R.A = 1 or R.B = 2`,
+		`permit EST to KLEIN; revoke EST from KLEIN;`,
+		`retrieve (EMPLOYEE:1.NAME) where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE`,
+		`explain retrieve (R.A)`,
+		`delete from R where A != -5`,
+		`show meta`,
+		"retrieve (R.A) where R.A ≥ 3",
+		`-- comment only`,
+		`insert into R values ("quo;ted", x)`,
+		`view V (R.A`,
+		`;;;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmts, err := ParseProgram(input)
+		if err != nil {
+			return
+		}
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case ViewStmt:
+				// The printed form must itself parse to a view with the
+				// same shape.
+				again, err := Parse(s.Def.String())
+				if err != nil {
+					t.Fatalf("view round trip failed: %v\nprinted: %s", err, s.Def.String())
+				}
+				v2 := again.(ViewStmt)
+				if len(v2.Def.Cols) != len(s.Def.Cols) ||
+					len(v2.Def.Where) != len(s.Def.Where) ||
+					len(v2.Def.Or) != len(s.Def.Or) {
+					t.Fatalf("view round trip changed shape:\n%s\nvs\n%s", s.Def, v2.Def)
+				}
+			case Retrieve:
+				if _, err := Parse(s.Def.String()); err != nil {
+					t.Fatalf("retrieve round trip failed: %v\nprinted: %s", err, s.Def.String())
+				}
+			}
+		}
+	})
+}
+
+// TestRoundTripCorpus runs the fuzz body over a fixed corpus so the
+// property is exercised in ordinary test runs too.
+func TestRoundTripCorpus(t *testing.T) {
+	corpus := []string{
+		`view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, PROJECT.BUDGET)
+		  where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+		  and PROJECT.NUMBER = ASSIGNMENT.P_NO
+		  and PROJECT.BUDGET >= 250000`,
+		`view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, EMPLOYEE:1.TITLE)
+		  where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE`,
+		`view D (P.N) where P.S = Acme or P.B >= 400000 and P.B <= 900000`,
+		`retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY) where EMPLOYEE.TITLE = engineer`,
+	}
+	for _, in := range corpus {
+		s, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		var printed string
+		switch s := s.(type) {
+		case ViewStmt:
+			printed = s.Def.String()
+		case Retrieve:
+			printed = s.Def.String()
+		}
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("round trip of %q failed: %v\nprinted: %s", in, err, printed)
+		}
+		if !strings.Contains(printed, "(") {
+			t.Fatalf("printed form suspicious: %q", printed)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package parser implements the statement language of the paper's §6
+// front-end: view definitions, permit statements, and retrieve statements
+// in the concrete syntax of §2 and §5, together with the DDL/DML the
+// front-end needs (relation, insert, delete, revoke, show, drop).
+//
+// Example statements:
+//
+//	relation EMPLOYEE (NAME, TITLE, SALARY) key (NAME);
+//	insert into EMPLOYEE values (Jones, manager, 26000);
+//	view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, PROJECT.BUDGET)
+//	  where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+//	  and PROJECT.NUMBER = ASSIGNMENT.P_NO
+//	  and PROJECT.BUDGET >= 250000;
+//	permit ELP to KLEIN;
+//	retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)
+//	  where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+//	  and ASSIGNMENT.P_NO = PROJECT.NUMBER
+//	  and PROJECT.SPONSOR = Acme;
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokColon
+	tokSemi
+	tokCmp
+	tokStar
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens. Identifiers may contain letters,
+// digits, '_' and interior '-' (project numbers like bq-45 are bare
+// identifiers); numbers are optionally signed decimals; strings are
+// double-quoted.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < n && (input[i] == '=' || (c == '<' && input[i] == '>')) {
+				i++
+			}
+			t := input[start:i]
+			if t == "!" {
+				return nil, fmt.Errorf("pos %d: stray '!'", start)
+			}
+			toks = append(toks, token{tokCmp, t, start})
+		case c == '"':
+			start := i
+			i++
+			for i < n && input[i] != '"' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("pos %d: unterminated string", start)
+			}
+			i++
+			toks = append(toks, token{tokString, input[start+1 : i-1], start})
+		case c >= '0' && c <= '9', c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			i++
+			for i < n && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c < 0x80 && isIdentStart(rune(c)):
+			start := i
+			i++
+			for i < n && isIdentPart(input, i) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		default:
+			r, size := utf8.DecodeRuneInString(input[i:])
+			switch {
+			case r == '≠' || r == '≤' || r == '≥':
+				toks = append(toks, token{tokCmp, string(r), i})
+				i += size
+			case isIdentStart(r):
+				start := i
+				i += size
+				for i < n {
+					r2, s2 := utf8.DecodeRuneInString(input[i:])
+					if r2 < 0x80 {
+						if !isIdentPart(input, i) {
+							break
+						}
+						i++
+						continue
+					}
+					if !unicode.IsLetter(r2) {
+						break
+					}
+					i += s2
+				}
+				toks = append(toks, token{tokIdent, input[start:i], start})
+			default:
+				return nil, fmt.Errorf("pos %d: unexpected character %q", i, string(r))
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+// isIdentPart allows interior hyphens only when followed by another
+// identifier character, so "bq-45" lexes as one token while "A -5" does
+// not glue.
+func isIdentPart(input string, i int) bool {
+	c := input[i]
+	if c == '_' || c >= '0' && c <= '9' || unicode.IsLetter(rune(c)) {
+		return true
+	}
+	if c == '-' && i+1 < len(input) {
+		d := input[i+1]
+		return d == '_' || d >= '0' && d <= '9' || unicode.IsLetter(rune(d))
+	}
+	return false
+}
+
+// keyword folds an identifier to lower case for keyword matching;
+// identifiers used as names keep their spelling.
+func keyword(t token) string {
+	if t.kind != tokIdent {
+		return ""
+	}
+	return strings.ToLower(t.text)
+}

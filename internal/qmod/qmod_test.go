@@ -1,0 +1,177 @@
+package qmod_test
+
+import (
+	"strings"
+	"testing"
+
+	"authdb/internal/qmod"
+	"authdb/internal/value"
+	"authdb/internal/workload"
+)
+
+func newSystem(t *testing.T) (*workload.Fixture, *qmod.System) {
+	t.Helper()
+	f := workload.Paper()
+	return f, qmod.New(f.Schema, f.Source)
+}
+
+func TestPermitValidation(t *testing.T) {
+	_, s := newSystem(t)
+	if err := s.Permit(qmod.Permission{User: "u", Rel: "NOPE", Attrs: []string{"X"}}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if err := s.Permit(qmod.Permission{User: "u", Rel: "EMPLOYEE", Attrs: []string{"WAGE"}}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if err := s.Permit(qmod.Permission{User: "u", Rel: "EMPLOYEE", Attrs: []string{"NAME"},
+		Quals: []qmod.Qual{{Attr: "WAGE", Op: value.GT, Const: value.Int(1)}}}); err == nil {
+		t.Fatal("unknown qualification attribute accepted")
+	}
+	if err := s.Permit(qmod.Permission{User: "u", Rel: "EMPLOYEE", Attrs: []string{"NAME"},
+		Quals: []qmod.Qual{{Attr: "NAME", Op: value.EQ, RAttr: "WAGE", IsAtt: true}}}); err == nil {
+		t.Fatal("unknown qualification RHS accepted")
+	}
+}
+
+func TestQualificationConjoined(t *testing.T) {
+	_, s := newSystem(t)
+	err := s.Permit(qmod.Permission{
+		User: "brown", Rel: "PROJECT",
+		Attrs: []string{"NUMBER", "SPONSOR", "BUDGET"},
+		Quals: []qmod.Qual{{Attr: "SPONSOR", Op: value.EQ, Const: value.String("Acme")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, mod, err := s.Query("brown", workload.MustQuery(
+		`retrieve (PROJECT.NUMBER, PROJECT.BUDGET) where PROJECT.BUDGET >= 100000`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only bq-45 is Acme's; the qualification reduced the rows.
+	if rel.Len() != 1 || rel.Tuples()[0][0].String() != "bq-45" {
+		t.Fatalf("modified query answer:\n%s", rel)
+	}
+	if len(mod.Applied["PROJECT"]) != 1 {
+		t.Fatalf("applied permissions: %+v", mod.Applied)
+	}
+}
+
+// TestColumnAsymmetry reproduces the paper's §1 INGRES criticism: with
+// permission on A1, A2 (under P), a request for A1, A2 is reduced, but a
+// request for A1, A2, A3 is denied altogether.
+func TestColumnAsymmetry(t *testing.T) {
+	_, s := newSystem(t)
+	err := s.Permit(qmod.Permission{
+		User: "u", Rel: "EMPLOYEE", Attrs: []string{"NAME", "SALARY"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel, _, err := s.Query("u", workload.MustQuery(
+		`retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)`)); err != nil || rel.Len() != 3 {
+		t.Fatalf("covered request: %v, %v", rel, err)
+	}
+	_, _, err = s.Query("u", workload.MustQuery(
+		`retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY, EMPLOYEE.TITLE)`))
+	if err == nil || !strings.Contains(err.Error(), "TITLE") {
+		t.Fatalf("uncovered column must deny naming it, got %v", err)
+	}
+	// Qualification attributes are addressed too.
+	_, _, err = s.Query("u", workload.MustQuery(
+		`retrieve (EMPLOYEE.NAME) where EMPLOYEE.TITLE = engineer`))
+	if err == nil {
+		t.Fatal("qualification on an uncovered column must deny")
+	}
+}
+
+func TestDisjunctionOfPermissions(t *testing.T) {
+	_, s := newSystem(t)
+	for _, sponsor := range []string{"Acme", "Apex"} {
+		err := s.Permit(qmod.Permission{
+			User: "u", Rel: "PROJECT",
+			Attrs: []string{"NUMBER", "SPONSOR", "BUDGET"},
+			Quals: []qmod.Qual{{Attr: "SPONSOR", Op: value.EQ, Const: value.String(sponsor)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, _, err := s.Query("u", workload.MustQuery(`retrieve (PROJECT.NUMBER)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 { // bq-45 (Acme) and sv-72 (Apex); vg-13 (Summit) filtered
+		t.Fatalf("disjunction of permissions:\n%s", rel)
+	}
+}
+
+func TestAttrAttrQualification(t *testing.T) {
+	f, s := newSystem(t)
+	_ = f
+	err := s.Permit(qmod.Permission{
+		User: "u", Rel: "ASSIGNMENT",
+		Attrs: []string{"E_NAME", "P_NO"},
+		Quals: []qmod.Qual{{Attr: "E_NAME", Op: value.NE, RAttr: "P_NO", IsAtt: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _, err := s.Query("u", workload.MustQuery(`retrieve (ASSIGNMENT.E_NAME, ASSIGNMENT.P_NO)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 6 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+}
+
+func TestMultiRelationQueryNeedsEveryRelationCovered(t *testing.T) {
+	_, s := newSystem(t)
+	err := s.Permit(qmod.Permission{
+		User: "klein", Rel: "EMPLOYEE", Attrs: []string{"NAME", "TITLE"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 2 addresses ASSIGNMENT and PROJECT too; no permission
+	// covers them, so the whole query is denied — INGRES cannot express
+	// the multi-relation view ELP (§1).
+	if _, _, err := s.Query("klein", workload.MustQuery(workload.Example2Query)); err == nil {
+		t.Fatal("uncovered relations must deny the query")
+	}
+}
+
+func TestSelfJoinAddressing(t *testing.T) {
+	_, s := newSystem(t)
+	err := s.Permit(qmod.Permission{
+		User: "u", Rel: "EMPLOYEE", Attrs: []string{"NAME", "TITLE"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both occurrences address only covered attributes.
+	rel, mod, err := s.Query("u", workload.MustQuery(`
+		retrieve (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME)
+		where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("self-join rows = %d, want 3", rel.Len())
+	}
+	if len(mod.Applied) != 2 {
+		t.Fatalf("applied per alias: %v", mod.Applied)
+	}
+}
+
+func TestQualString(t *testing.T) {
+	q := qmod.Qual{Attr: "SPONSOR", Op: value.EQ, Const: value.String("Acme")}
+	if q.String() != "SPONSOR = Acme" {
+		t.Fatalf("Qual.String = %q", q.String())
+	}
+	q = qmod.Qual{Attr: "A", Op: value.LT, RAttr: "B", IsAtt: true}
+	if q.String() != "A < B" {
+		t.Fatalf("Qual.String = %q", q.String())
+	}
+}

@@ -1,0 +1,65 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"authdb/internal/value"
+)
+
+// WriteCSV writes the relation with a header row. Integer values are
+// written in decimal; strings verbatim; nulls as empty fields.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Attrs); err != nil {
+		return err
+	}
+	row := make([]string, r.Arity())
+	for _, t := range r.Sorted() {
+		for i, v := range t {
+			if v.IsNull() {
+				row[i] = ""
+			} else {
+				row[i] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation written by WriteCSV: the first record is the
+// attribute list; each field parses as an integer when it looks like one,
+// otherwise as a string; empty fields are null.
+func ReadCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading csv header: %w", err)
+	}
+	rel := New(header)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reading csv row: %w", err)
+		}
+		t := make(Tuple, len(rec))
+		for i, f := range rec {
+			if f == "" {
+				t[i] = value.Null()
+			} else {
+				t[i] = value.Parse(f)
+			}
+		}
+		if _, err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package relation
+
+import (
+	"sync"
+
+	"authdb/internal/value"
+)
+
+// indexEntry is one built secondary index, remembering how many tuples it
+// was built from: a Rename view holds a point-in-time slice header, so a
+// shared cache entry is only valid for a reader whose tuple count
+// matches.
+type indexEntry struct {
+	builtLen int
+	m        map[string][]Tuple
+}
+
+// indexCache holds lazily built secondary hash indexes over a relation's
+// tuples. Indexes are built on first equality lookup and invalidated
+// wholesale by any mutation; the cache is shared across Rename views of
+// the same storage and revalidated per reader by tuple count.
+type indexCache struct {
+	mu     sync.Mutex
+	byAttr map[int]indexEntry
+}
+
+func newIndexCache() *indexCache {
+	return &indexCache{byAttr: make(map[int]indexEntry)}
+}
+
+// bump invalidates every index.
+func (c *indexCache) bump() {
+	c.mu.Lock()
+	if len(c.byAttr) > 0 {
+		c.byAttr = make(map[int]indexEntry)
+	}
+	c.mu.Unlock()
+}
+
+// valueKey identifies a value for hashing, kind-tagged so Int(1) and
+// String("1") stay distinct.
+func valueKey(v value.Value) string {
+	return string(byte(v.Kind())) + v.String()
+}
+
+// LookupEq returns the tuples whose attribute at index i equals v, served
+// from a lazily built hash index. The returned slice is shared — callers
+// must not mutate it. Mutating the relation invalidates the index.
+func (r *Relation) LookupEq(i int, v value.Value) []Tuple {
+	if i < 0 || i >= len(r.Attrs) {
+		return nil
+	}
+	c := r.idx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byAttr[i]
+	if !ok || e.builtLen != len(r.tuples) {
+		e = indexEntry{builtLen: len(r.tuples), m: make(map[string][]Tuple, len(r.tuples))}
+		for _, t := range r.tuples {
+			k := valueKey(t[i])
+			e.m[k] = append(e.m[k], t)
+		}
+		c.byAttr[i] = e
+	}
+	return e.m[valueKey(v)]
+}
+
+// IndexedAttrs reports which attributes currently have a built index
+// (diagnostics and tests).
+func (r *Relation) IndexedAttrs() []int {
+	c := r.idx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.byAttr))
+	for i := range c.byAttr {
+		out = append(out, i)
+	}
+	return out
+}

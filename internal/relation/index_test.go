@@ -1,0 +1,83 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestLookupEq(t *testing.T) {
+	r := New([]string{"A", "B"})
+	for i := int64(0); i < 10; i++ {
+		r.MustInsert(vi(i), vi(i%3))
+	}
+	got := r.LookupEq(1, vi(1))
+	if len(got) != 3 {
+		t.Fatalf("lookup returned %d tuples, want 3", len(got))
+	}
+	for _, tp := range got {
+		if tp[1].AsInt() != 1 {
+			t.Fatalf("wrong tuple %v", tp)
+		}
+	}
+	if len(r.LookupEq(1, vi(99))) != 0 {
+		t.Fatal("missing value matched")
+	}
+	if r.LookupEq(-1, vi(0)) != nil || r.LookupEq(5, vi(0)) != nil {
+		t.Fatal("out-of-range attribute must return nil")
+	}
+	if idx := r.IndexedAttrs(); len(idx) != 1 || idx[0] != 1 {
+		t.Fatalf("IndexedAttrs = %v", idx)
+	}
+}
+
+func TestLookupEqKindDistinct(t *testing.T) {
+	r := New([]string{"A"})
+	r.MustInsert(vi(1))
+	r.MustInsert(vs("1"))
+	if len(r.LookupEq(0, vi(1))) != 1 {
+		t.Fatal("Int(1) lookup must not match String(\"1\")")
+	}
+	if len(r.LookupEq(0, vs("1"))) != 1 {
+		t.Fatal("String lookup must not match Int")
+	}
+}
+
+func TestIndexInvalidation(t *testing.T) {
+	r := New([]string{"A"})
+	r.MustInsert(vi(1))
+	if len(r.LookupEq(0, vi(1))) != 1 {
+		t.Fatal("initial lookup")
+	}
+	r.MustInsert(vi(1)) // duplicate: no change, index may stay
+	r.MustInsert(vi(2))
+	if len(r.LookupEq(0, vi(2))) != 1 {
+		t.Fatal("index not refreshed after insert")
+	}
+	r.Delete(func(t Tuple) bool { return t[0].AsInt() == 1 })
+	if len(r.LookupEq(0, vi(1))) != 0 {
+		t.Fatal("index not refreshed after delete")
+	}
+}
+
+func TestIndexSharedThroughRename(t *testing.T) {
+	r := New([]string{"A"})
+	r.MustInsert(vi(7))
+	q := r.Rename([]string{"X.A"})
+	if len(q.LookupEq(0, vi(7))) != 1 {
+		t.Fatal("renamed view misses shared tuples")
+	}
+	// A Rename is a point-in-time view: it holds the slice header as of
+	// its creation. The invariant the shared cache must keep is that the
+	// BASE never serves an index built from the rename's older snapshot.
+	r.MustInsert(vi(8))
+	if len(q.LookupEq(0, vi(7))) != 1 {
+		t.Fatal("snapshot lost its own tuples")
+	}
+	if len(r.LookupEq(0, vi(8))) != 1 {
+		t.Fatal("base served a stale index built through the rename snapshot")
+	}
+	// And a rename taken after the mutation sees everything.
+	q2 := r.Rename([]string{"Y.A"})
+	if len(q2.LookupEq(0, vi(8))) != 1 {
+		t.Fatal("fresh rename misses new tuples")
+	}
+}
