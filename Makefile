@@ -1,0 +1,27 @@
+# Development targets; `make check` is the CI gate.
+
+GO ?= go
+
+.PHONY: check build vet test race fuzz bench
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short exploratory fuzz pass over the session executor (seeded from
+# internal/engine/testdata/fuzz).
+fuzz:
+	$(GO) test ./internal/engine -fuzz FuzzSessionExec -fuzztime 30s
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

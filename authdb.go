@@ -23,14 +23,63 @@
 package authdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"authdb/internal/core"
 	"authdb/internal/engine"
+	"authdb/internal/guard"
 	"authdb/internal/relation"
 	"authdb/internal/value"
 )
+
+// ErrCanceled reports that a statement's context was canceled or its
+// deadline (or the session's Timeout limit) passed before execution
+// finished. Test with errors.Is.
+var ErrCanceled = guard.ErrCanceled
+
+// ErrBudgetExceeded reports that a statement hit one of the session's
+// resource limits (intermediate rows, result rows). Test with errors.Is.
+var ErrBudgetExceeded = guard.ErrBudgetExceeded
+
+// Limits bounds one statement's execution; see Session.SetLimits. Zero
+// fields mean "no limit" for that dimension.
+type Limits struct {
+	// MaxIntermediateRows caps the tuples materialized across all
+	// operators (products, joins, selections, meta-products) while
+	// answering one statement.
+	MaxIntermediateRows int64
+	// MaxResultRows caps the delivered answer's cardinality.
+	MaxResultRows int64
+	// Timeout bounds wall-clock execution of one statement; it composes
+	// with (never extends) any deadline on the caller's context.
+	Timeout time.Duration
+}
+
+// DefaultLimits is the budget sessions start with: generous enough for
+// ordinary workloads, small enough that a runaway self-product fails
+// fast instead of exhausting memory.
+func DefaultLimits() Limits {
+	g := guard.DefaultLimits()
+	return Limits{
+		MaxIntermediateRows: g.MaxIntermediateRows,
+		MaxResultRows:       g.MaxResultRows,
+		Timeout:             g.Timeout,
+	}
+}
+
+// Unlimited disables every per-statement bound.
+func Unlimited() Limits { return Limits{} }
+
+func (l Limits) internal() guard.Limits {
+	return guard.Limits{
+		MaxIntermediateRows: l.MaxIntermediateRows,
+		MaxResultRows:       l.MaxResultRows,
+		Timeout:             l.Timeout,
+	}
+}
 
 // Options selects the refinements of the paper's §4.2 and the execution
 // strategy; see DESIGN.md. DefaultOptions enables everything.
@@ -117,8 +166,37 @@ func (db *DB) Certify(quality, query string) (*Certification, error) {
 }
 
 // Save writes the database's complete state (schema, data, views,
-// permits) into a directory; Load restores it.
+// permits) into a directory; Load restores it. Each file is written
+// atomically, but Save is an export — for a database that survives
+// crashes mid-mutation, use OpenDir.
 func (db *DB) Save(dir string) error { return db.eng.Save(dir) }
+
+// OpenDir opens (creating if necessary) a durable database directory:
+// every mutating statement is journaled to a checksummed write-ahead log
+// before the call returns, and opening recovers the last committed
+// snapshot plus the log's valid prefix — a crash mid-write loses at most
+// the statement being written, never committed ones. Directories written
+// by Save are converted on first open. Close the DB to release the log.
+func OpenDir(dir string, opts ...Options) (*DB, error) {
+	o := DefaultOptions()
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	eng, err := engine.OpenDurable(dir, o.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Close releases the durable directory's log handle (a no-op for
+// in-memory databases). The state stays readable; further mutations on
+// a durable database fail.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Checkpoint folds the write-ahead log into a fresh snapshot, bounding
+// the next open's recovery time. Only durable databases checkpoint.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
 
 // Load restores a database saved with Save. With no Options argument it
 // uses DefaultOptions.
@@ -154,6 +232,14 @@ type Session struct {
 
 // User returns the session's principal.
 func (s *Session) User() string { return s.s.User() }
+
+// SetLimits replaces the session's per-statement resource limits
+// (sessions start with DefaultLimits). It returns the session for
+// chaining. Not safe concurrently with executions on the same session.
+func (s *Session) SetLimits(l Limits) *Session {
+	s.s.SetLimits(l.internal())
+	return s
+}
 
 // Cell is one delivered value: a string, an integer, or null (withheld).
 type Cell struct {
@@ -242,7 +328,14 @@ func resultOf(r *engine.Result) *Result {
 // Exec parses and executes one statement (relation, insert, delete, view,
 // permit, revoke, retrieve, show, drop view).
 func (s *Session) Exec(stmt string) (*Result, error) {
-	r, err := s.s.Exec(stmt)
+	return s.ExecContext(context.Background(), stmt)
+}
+
+// ExecContext is Exec under a context: cancellation and deadline are
+// honored at tuple-batch granularity and surface as ErrCanceled; the
+// session's Limits surface as ErrBudgetExceeded.
+func (s *Session) ExecContext(ctx context.Context, stmt string) (*Result, error) {
+	r, err := s.s.ExecContext(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}

@@ -8,11 +8,17 @@
 //
 //	authdb [-user NAME] [-load FILE] [-db DIR] [-paper]
 //
+// With -db, the directory is opened (or created) durably: every mutating
+// statement is journaled to a write-ahead log and a crash loses at most
+// the statement being written. Directories written with \save open and
+// are converted in place.
+//
 // REPL meta-commands:
 //
 //	\user NAME    switch to user NAME (unprivileged)
 //	\admin        switch to the administrator
-//	\save DIR     persist the database (schema, data, views, permits)
+//	\load FILE    execute a statement script (admin statements allowed)
+//	\save DIR     export the database (schema, data, views, permits)
 //	\quit         exit
 //
 // Everything else is a statement; end statements with ';' or a newline.
@@ -30,38 +36,39 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	user := flag.String("user", "", "open the session as this (unprivileged) user; empty means administrator")
 	load := flag.String("load", "", "execute this statement script before the prompt")
-	dbdir := flag.String("db", "", "open a database directory saved with \\save")
+	dbdir := flag.String("db", "", "open (or create) a durable database directory")
 	paper := flag.Bool("paper", false, "preload the paper's Figure 1 example database")
 	flag.Parse()
 
 	var db *authdb.DB
 	if *dbdir != "" {
 		var err error
-		db, err = authdb.Load(*dbdir)
+		db, err = authdb.OpenDir(*dbdir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "opening %s: %v\n", *dbdir, err)
+			return 1
 		}
-		fmt.Printf("opened %s\n", *dbdir)
+		fmt.Printf("opened %s (durable)\n", *dbdir)
 	} else {
 		db = authdb.Open()
 	}
+	defer db.Close()
+
 	admin := db.Admin()
 	if *paper {
 		admin.MustExecScript(workload.PaperScript)
 		fmt.Println("loaded the paper's example database (users: Brown, Klein)")
 	}
 	if *load != "" {
-		script, err := os.ReadFile(*load)
-		if err != nil {
+		if err := execFile(admin, *load); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if _, err := admin.ExecScript(string(script)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("loaded %s\n", *load)
 	}
@@ -74,6 +81,8 @@ func main() {
 	}
 
 	in := bufio.NewScanner(os.Stdin)
+	// Statements (bulk inserts, generated scripts) can exceed bufio's
+	// 64KiB default line limit.
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
 	prompt := func() { fmt.Printf("%s> ", who) }
@@ -85,7 +94,7 @@ func main() {
 		case strings.HasPrefix(trimmed, `\`):
 			switch {
 			case trimmed == `\quit` || trimmed == `\q`:
-				return
+				return 0
 			case trimmed == `\admin`:
 				session, who = admin, "admin"
 			case strings.HasPrefix(trimmed, `\user `):
@@ -95,6 +104,13 @@ func main() {
 				} else {
 					session, who = db.Session(name), name
 				}
+			case strings.HasPrefix(trimmed, `\load `):
+				file := strings.TrimSpace(strings.TrimPrefix(trimmed, `\load `))
+				if err := execFile(admin, file); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Println("loaded", file)
+				}
 			case strings.HasPrefix(trimmed, `\save `):
 				dir := strings.TrimSpace(strings.TrimPrefix(trimmed, `\save `))
 				if err := db.Save(dir); err != nil {
@@ -103,7 +119,7 @@ func main() {
 					fmt.Println("saved to", dir)
 				}
 			default:
-				fmt.Println(`meta-commands: \user NAME, \admin, \save DIR, \quit`)
+				fmt.Println(`meta-commands: \user NAME, \admin, \load FILE, \save DIR, \quit`)
 			}
 			pending.Reset()
 			prompt()
@@ -120,12 +136,32 @@ func main() {
 			continue
 		}
 		pending.Reset()
-		run(session, stmt)
+		exec(session, stmt)
 		prompt()
 	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "reading input:", err)
+		return 1
+	}
+	return 0
 }
 
-func run(session *authdb.Session, stmt string) {
+// execFile runs a statement script as the administrator; errors name the
+// file and the line of the statement that failed.
+func execFile(admin *authdb.Session, file string) error {
+	script, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	if _, err := admin.ExecScript(string(script)); err != nil {
+		// ExecScript errors already carry "line N:" for execution
+		// failures and "pos N:" for parse failures.
+		return fmt.Errorf("%s: %w", file, err)
+	}
+	return nil
+}
+
+func exec(session *authdb.Session, stmt string) {
 	stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
 	if stmt == "" {
 		return

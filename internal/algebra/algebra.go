@@ -21,6 +21,7 @@ package algebra
 import (
 	"fmt"
 
+	"authdb/internal/guard"
 	"authdb/internal/relation"
 	"authdb/internal/value"
 )
@@ -206,25 +207,37 @@ func CompilePred(attrs []string, pred []Atom) (func(relation.Tuple) bool, error)
 
 // EvalNaive evaluates the plan tree bottom-up with nested-loop products.
 func EvalNaive(n Node, src Source) (*relation.Relation, error) {
+	return EvalNaiveGuarded(n, src, nil)
+}
+
+// EvalNaiveGuarded is EvalNaive under a cancellation-and-budget guard:
+// every materialized tuple of a product, selection, or projection is
+// accounted, so a runaway plan fails with guard.ErrBudgetExceeded or
+// guard.ErrCanceled instead of exhausting the process. A nil guard is
+// unlimited.
+func EvalNaiveGuarded(n Node, src Source, g *guard.Guard) (*relation.Relation, error) {
 	switch n := n.(type) {
 	case Scan:
 		base, err := src(n.Rel)
 		if err != nil {
 			return nil, err
 		}
+		if err := g.Check(); err != nil {
+			return nil, err
+		}
 		return base.Rename(relation.QualifyAttrs(n.Alias, base.Attrs)), nil
 	case Product:
-		l, err := EvalNaive(n.L, src)
+		l, err := EvalNaiveGuarded(n.L, src, g)
 		if err != nil {
 			return nil, err
 		}
-		r, err := EvalNaive(n.R, src)
+		r, err := EvalNaiveGuarded(n.R, src, g)
 		if err != nil {
 			return nil, err
 		}
-		return l.Product(r), nil
+		return guardedProduct(l, r, g)
 	case Select:
-		in, err := EvalNaive(n.In, src)
+		in, err := EvalNaiveGuarded(n.In, src, g)
 		if err != nil {
 			return nil, err
 		}
@@ -232,9 +245,9 @@ func EvalNaive(n Node, src Source) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return in.Select(pred), nil
+		return guardedSelect(in, pred, g)
 	case Project:
-		in, err := EvalNaive(n.In, src)
+		in, err := EvalNaiveGuarded(n.In, src, g)
 		if err != nil {
 			return nil, err
 		}
@@ -246,8 +259,69 @@ func EvalNaive(n Node, src Source) (*relation.Relation, error) {
 			}
 			idx[i] = j
 		}
-		return in.Project(idx), nil
+		return guardedProject(in, idx, g)
 	default:
 		return nil, fmt.Errorf("unknown plan node %T", n)
 	}
+}
+
+// guardedProduct is relation.Product with per-output-row accounting.
+func guardedProduct(l, r *relation.Relation, g *guard.Guard) (*relation.Relation, error) {
+	if g == nil {
+		return l.Product(r), nil
+	}
+	attrs := append(append([]string(nil), l.Attrs...), r.Attrs...)
+	out := relation.New(attrs)
+	for _, a := range l.Tuples() {
+		for _, b := range r.Tuples() {
+			if err := g.Add(1); err != nil {
+				return nil, err
+			}
+			row := make(relation.Tuple, 0, len(a)+len(b))
+			row = append(append(row, a...), b...)
+			out.Insert(row) //nolint:errcheck // arity is correct by construction
+		}
+	}
+	return out, nil
+}
+
+// guardedSelect is relation.Select with per-input-row accounting (the
+// scan over the input is the work being bounded).
+func guardedSelect(in *relation.Relation, pred func(relation.Tuple) bool, g *guard.Guard) (*relation.Relation, error) {
+	if g == nil {
+		return in.Select(pred), nil
+	}
+	out := relation.New(in.Attrs)
+	for _, t := range in.Tuples() {
+		if err := g.Add(1); err != nil {
+			return nil, err
+		}
+		if pred(t) {
+			out.Insert(t) //nolint:errcheck // arity is correct by construction
+		}
+	}
+	return out, nil
+}
+
+// guardedProject is relation.Project with per-input-row accounting.
+func guardedProject(in *relation.Relation, idx []int, g *guard.Guard) (*relation.Relation, error) {
+	if g == nil {
+		return in.Project(idx), nil
+	}
+	attrs := make([]string, len(idx))
+	for i, j := range idx {
+		attrs[i] = in.Attrs[j]
+	}
+	out := relation.New(attrs)
+	row := make(relation.Tuple, len(idx))
+	for _, t := range in.Tuples() {
+		if err := g.Add(1); err != nil {
+			return nil, err
+		}
+		for i, j := range idx {
+			row[i] = t[j]
+		}
+		out.Insert(row) //nolint:errcheck // arity is correct by construction
+	}
+	return out, nil
 }

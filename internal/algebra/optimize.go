@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"authdb/internal/guard"
 	"authdb/internal/relation"
 	"authdb/internal/value"
 )
@@ -13,6 +14,15 @@ import (
 // relations, where "optimality is essential". The result is identical, as
 // a set, to EvalNaive on the same query.
 func EvalOptimized(p *PSJ, src Source) (*relation.Relation, error) {
+	return EvalOptimizedGuarded(p, src, nil)
+}
+
+// EvalOptimizedGuarded is EvalOptimized under a cancellation-and-budget
+// guard: local filters, join and product outputs, residual selections,
+// and the final projection are accounted per tuple batch, so a hostile
+// query (e.g. an unbounded self-product) fails with a typed error while
+// the engine keeps serving. A nil guard is unlimited.
+func EvalOptimizedGuarded(p *PSJ, src Source, g *guard.Guard) (*relation.Relation, error) {
 	if len(p.Scans) == 0 {
 		return nil, fmt.Errorf("empty query")
 	}
@@ -41,7 +51,7 @@ func EvalOptimized(p *PSJ, src Source) (*relation.Relation, error) {
 		if len(local[i]) == 0 {
 			continue
 		}
-		filtered, err := applyLocal(parts[i], local[i])
+		filtered, err := applyLocal(parts[i], local[i], g)
 		if err != nil {
 			return nil, err
 		}
@@ -57,16 +67,26 @@ func EvalOptimized(p *PSJ, src Source) (*relation.Relation, error) {
 	remainingEq, remainingOther := splitEq(global)
 	for joined := 1; joined < len(parts); joined++ {
 		next, eqs := pickNext(cur, parts, used, remainingEq)
+		var err error
 		if len(eqs) > 0 {
-			cur = hashJoin(cur, parts[next], eqs)
+			cur, err = hashJoin(cur, parts[next], eqs, g)
 			remainingEq = removeAtoms(remainingEq, eqs)
 		} else {
-			cur = cur.Product(parts[next])
+			cur, err = guardedProduct(cur, parts[next], g)
+		}
+		if err != nil {
+			return nil, err
 		}
 		used[next] = true
 		// Apply any remaining predicates that became resolvable.
-		remainingEq = applyResolvable(&cur, remainingEq)
-		remainingOther = applyResolvable(&cur, remainingOther)
+		remainingEq, err = applyResolvable(&cur, remainingEq, g)
+		if err != nil {
+			return nil, err
+		}
+		remainingOther, err = applyResolvable(&cur, remainingOther, g)
+		if err != nil {
+			return nil, err
+		}
 	}
 	rest := append(append([]Atom(nil), remainingEq...), remainingOther...)
 	if len(rest) > 0 {
@@ -74,7 +94,10 @@ func EvalOptimized(p *PSJ, src Source) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur = cur.Select(pred)
+		cur, err = guardedSelect(cur, pred, g)
+		if err != nil {
+			return nil, err
+		}
 	}
 	idx := make([]int, len(p.Cols))
 	for i, c := range p.Cols {
@@ -84,14 +107,14 @@ func EvalOptimized(p *PSJ, src Source) (*relation.Relation, error) {
 		}
 		idx[i] = j
 	}
-	return cur.Project(idx), nil
+	return guardedProject(cur, idx, g)
 }
 
 // applyLocal filters one scan by its local atoms, serving the first
 // equality-with-constant atom from the relation's secondary hash index
 // (built lazily, invalidated by mutation) and the remainder by
 // evaluation.
-func applyLocal(part *relation.Relation, atoms []Atom) (*relation.Relation, error) {
+func applyLocal(part *relation.Relation, atoms []Atom, g *guard.Guard) (*relation.Relation, error) {
 	eqAt := -1
 	var eqIdx int
 	for k, a := range atoms {
@@ -110,7 +133,7 @@ func applyLocal(part *relation.Relation, atoms []Atom) (*relation.Relation, erro
 		if err != nil {
 			return nil, err
 		}
-		return part.Select(pred), nil
+		return guardedSelect(part, pred, g)
 	}
 	rest := append(append([]Atom(nil), atoms[:eqAt]...), atoms[eqAt+1:]...)
 	pred := func(relation.Tuple) bool { return true }
@@ -123,6 +146,9 @@ func applyLocal(part *relation.Relation, atoms []Atom) (*relation.Relation, erro
 	}
 	out := relation.New(part.Attrs)
 	for _, t := range part.LookupEq(eqIdx, atoms[eqAt].R.Const) {
+		if err := g.Add(1); err != nil {
+			return nil, err
+		}
 		if pred(t) {
 			out.Insert(t) //nolint:errcheck // arity correct by construction
 		}
@@ -214,7 +240,7 @@ outer:
 
 // applyResolvable filters *cur by every atom fully resolvable against its
 // attributes and returns the atoms that remain outstanding.
-func applyResolvable(cur **relation.Relation, atoms []Atom) []Atom {
+func applyResolvable(cur **relation.Relation, atoms []Atom, g *guard.Guard) ([]Atom, error) {
 	var ready, notReady []Atom
 	for _, a := range atoms {
 		ok := hasAttr((*cur).Attrs, a.L) && (!a.R.IsAttr || hasAttr((*cur).Attrs, a.R.Attr))
@@ -227,18 +253,23 @@ func applyResolvable(cur **relation.Relation, atoms []Atom) []Atom {
 	if len(ready) > 0 {
 		pred, err := CompilePred((*cur).Attrs, ready)
 		if err == nil {
-			*cur = (*cur).Select(pred)
+			sel, serr := guardedSelect(*cur, pred, g)
+			if serr != nil {
+				return nil, serr
+			}
+			*cur = sel
 		} else {
 			// Ambiguity means the atom was not truly resolvable; defer it.
 			notReady = append(notReady, ready...)
 		}
 	}
-	return notReady
+	return notReady, nil
 }
 
 // hashJoin joins l and r on the given equality atoms (each relating an
-// attribute of l to an attribute of r, in either order).
-func hashJoin(l, r *relation.Relation, eqs []Atom) *relation.Relation {
+// attribute of l to an attribute of r, in either order), accounting the
+// build side and every output row against the guard.
+func hashJoin(l, r *relation.Relation, eqs []Atom, g *guard.Guard) (*relation.Relation, error) {
 	li := make([]int, len(eqs))
 	ri := make([]int, len(eqs))
 	for k, a := range eqs {
@@ -260,18 +291,27 @@ func hashJoin(l, r *relation.Relation, eqs []Atom) *relation.Relation {
 	}
 	build := make(map[string][]relation.Tuple)
 	for _, t := range r.Tuples() {
+		if err := g.Add(1); err != nil {
+			return nil, err
+		}
 		k := key(t, ri)
 		build[k] = append(build[k], t)
 	}
 	out := relation.New(append(append([]string(nil), l.Attrs...), r.Attrs...))
 	for _, t := range l.Tuples() {
+		if err := g.Check(); err != nil {
+			return nil, err
+		}
 		for _, u := range build[key(t, li)] {
+			if err := g.Add(1); err != nil {
+				return nil, err
+			}
 			row := make(relation.Tuple, 0, len(t)+len(u))
 			row = append(append(row, t...), u...)
 			out.Insert(row) //nolint:errcheck // arity correct by construction
 		}
 	}
-	return out
+	return out, nil
 }
 
 func mustIndex(attrs []string, a string) int {

@@ -5,6 +5,7 @@ import (
 
 	"authdb/internal/algebra"
 	"authdb/internal/cview"
+	"authdb/internal/guard"
 	"authdb/internal/interval"
 	"authdb/internal/relation"
 )
@@ -58,6 +59,10 @@ type Authorizer struct {
 	Store  *Store
 	Source algebra.Source
 	Opt    Options
+	// Guard, when non-nil, bounds both the actual-side evaluation and
+	// the meta-side operators with a cancellation-and-budget check at
+	// tuple-batch granularity.
+	Guard *guard.Guard
 }
 
 // NewAuthorizer builds an authorizer with the given options.
@@ -94,9 +99,9 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 		}
 		widePSJ := &algebra.PSJ{Scans: psj.Scans, Preds: psj.Preds, Cols: wideAttrs}
 		if a.Opt.OptimizedExec {
-			wideAns, err = algebra.EvalOptimized(widePSJ, a.Source)
+			wideAns, err = algebra.EvalOptimizedGuarded(widePSJ, a.Source, a.Guard)
 		} else {
-			wideAns, err = algebra.EvalNaive(widePSJ.Node(), a.Source)
+			wideAns, err = algebra.EvalNaiveGuarded(widePSJ.Node(), a.Source, a.Guard)
 		}
 		if err != nil {
 			return nil, err
@@ -111,9 +116,9 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 		}
 		d.Answer = wideAns.Project(outIdx)
 	} else if a.Opt.OptimizedExec {
-		d.Answer, err = algebra.EvalOptimized(psj, a.Source)
+		d.Answer, err = algebra.EvalOptimizedGuarded(psj, a.Source, a.Guard)
 	} else {
-		d.Answer, err = algebra.EvalNaive(psj.Node(), a.Source)
+		d.Answer, err = algebra.EvalNaiveGuarded(psj.Node(), a.Source, a.Guard)
 	}
 	if err != nil {
 		return nil, err
@@ -140,7 +145,10 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 	for _, s := range psj.Scans[1:] {
 		next := inst.MetaRelFor(s.Rel, s.Alias)
 		snap("scan "+s.Alias, next)
-		mr = MetaProduct(mr, next, a.Opt.Padding)
+		mr, err = MetaProductGuarded(mr, next, a.Opt.Padding, a.Guard)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if len(psj.Scans) > 1 {
 		snap("product", mr)
@@ -159,6 +167,11 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 			mr, err = MetaSelect(mr, sel.atom, inst, a.Opt.FourCase)
 		}
 		if err != nil {
+			return nil, err
+		}
+		// Tuple-batch granularity on the meta side: each selection pass
+		// re-accounts the surviving meta-tuples.
+		if err := a.Guard.Add(len(mr.Tuples)); err != nil {
 			return nil, err
 		}
 		snap("select "+sel.label, mr)

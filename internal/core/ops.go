@@ -2,6 +2,7 @@ package core
 
 import (
 	"authdb/internal/algebra"
+	"authdb/internal/guard"
 	"authdb/internal/interval"
 	"authdb/internal/value"
 )
@@ -12,6 +13,20 @@ import (
 // which keep subviews of one operand alive across projections that remove
 // the other operand's attributes. Replications are removed.
 func MetaProduct(a, b *MetaRel, padding bool) *MetaRel {
+	out, err := MetaProductGuarded(a, b, padding, nil)
+	if err != nil {
+		// Unreachable: a nil guard never fails.
+		panic(err)
+	}
+	return out
+}
+
+// MetaProductGuarded is MetaProduct under a cancellation-and-budget
+// guard. Meta-relations are usually small (§4.1), but a query joining
+// many occurrences of relations with many stored views multiplies them;
+// the guard accounts every produced meta-tuple so the meta side obeys
+// the same budget as the actual side. A nil guard is unlimited.
+func MetaProductGuarded(a, b *MetaRel, padding bool, g *guard.Guard) (*MetaRel, error) {
 	out := NewMetaRel(append(append([]string(nil), a.Attrs...), b.Attrs...))
 	blankA := make([]Cell, len(a.Attrs))
 	blankB := make([]Cell, len(b.Attrs))
@@ -43,19 +58,28 @@ func MetaProduct(a, b *MetaRel, padding bool) *MetaRel {
 	}
 	for _, l := range a.Tuples {
 		for _, r := range b.Tuples {
+			if err := g.Add(1); err != nil {
+				return nil, err
+			}
 			out.Tuples = append(out.Tuples, concat(l, r, l.Cells, r.Cells))
 		}
 	}
 	if padding {
 		for _, l := range a.Tuples {
+			if err := g.Add(1); err != nil {
+				return nil, err
+			}
 			out.Tuples = append(out.Tuples, concat(l, nil, l.Cells, blankB))
 		}
 		for _, r := range b.Tuples {
+			if err := g.Add(1); err != nil {
+				return nil, err
+			}
 			out.Tuples = append(out.Tuples, concat(nil, r, blankA, r.Cells))
 		}
 	}
 	out.Dedupe()
-	return out
+	return out, nil
 }
 
 func unionComps(a, b []CompRef) []CompRef {

@@ -47,12 +47,14 @@ func ColTerm(alias, attr string) Term { return Term{IsCol: true, Col: ColRef{ali
 // ConstTerm returns a constant term.
 func ConstTerm(v value.Value) Term { return Term{Const: v} }
 
-// String renders the term.
+// String renders the term. Constants render as reparseable literals
+// (quoted when they would not lex as one identifier), so a rendered
+// definition round-trips through the parser.
 func (t Term) String() string {
 	if t.IsCol {
 		return t.Col.String()
 	}
-	return t.Const.String()
+	return value.Literal(t.Const)
 }
 
 // Cond is one primitive condition of a where-clause conjunction.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,8 +21,8 @@ import (
 // whose group key contains a withheld value are dropped; withheld values
 // inside a group are skipped by the fold (count counts non-null values),
 // and a group whose fold saw no values yields null.
-func (s *Session) retrieveAgg(p parser.Retrieve) (*Result, error) {
-	base, err := s.Retrieve(p.Def)
+func (s *Session) retrieveAgg(ctx context.Context, p parser.Retrieve) (*Result, error) {
+	base, err := s.RetrieveContext(ctx, p.Def)
 	if err != nil {
 		return nil, err
 	}

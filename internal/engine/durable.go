@@ -1,0 +1,314 @@
+// Crash-safe persistence. A durable database directory holds immutable
+// snapshot generations plus a statement write-ahead log:
+//
+//	CURRENT          "snap-NNNNNN\n" — the committed generation
+//	snap-NNNNNN/     one snapshot: schema.authdb, views.authdb,
+//	                 data/REL.csv, and a MANIFEST with the CRC-32 and
+//	                 size of every file
+//	wal-NNNNNN.log   statements applied after snap-NNNNNN was taken
+//
+// A checkpoint builds the next generation in a temp directory, fsyncs
+// everything, renames it into place, creates the generation's empty WAL,
+// and then — the commit point — atomically renames a new CURRENT over
+// the old one. A crash anywhere leaves either the old generation fully
+// committed or the new one; partially built directories are ignored and
+// reclaimed by the next checkpoint.
+//
+// Every mutating statement is journaled to the WAL (rendered back to
+// canonical statement text) inside the same critical section that
+// applies it, so the log order equals the apply order. Opening replays
+// the committed snapshot plus the longest valid prefix of its WAL —
+// tolerating a torn or corrupt tail — and immediately checkpoints, so a
+// recovered engine never appends after a torn tail.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"authdb/internal/core"
+	"authdb/internal/faultfs"
+	"authdb/internal/parser"
+	"authdb/internal/wal"
+)
+
+const (
+	currentName  = "CURRENT"
+	manifestName = "MANIFEST"
+)
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%06d", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%06d.log", gen) }
+
+// durable is an engine's attachment to a durable database directory.
+type durable struct {
+	fs  faultfs.FS
+	dir string
+	gen uint64
+	wal *wal.Log
+	// broken is set at the first journaling failure; the engine then
+	// fails stop for mutations (the in-memory state may be ahead of the
+	// log, and accepting more writes would widen the divergence).
+	broken error
+}
+
+// OpenDurable opens (creating if necessary) a durable database
+// directory: the committed snapshot is loaded, the write-ahead log's
+// valid prefix is replayed, and a fresh checkpoint is taken. Directories
+// saved with Save (the flat layout) are converted on first open. The
+// caller should Close the engine to release the log handle.
+func OpenDurable(dir string, opt core.Options) (*Engine, error) {
+	return OpenDurableFS(faultfs.OS(), dir, opt)
+}
+
+// OpenDurableFS is OpenDurable over an explicit filesystem; the
+// fault-injection tests use it to crash persistence at every operation.
+func OpenDurableFS(fs faultfs.FS, dir string, opt core.Options) (*Engine, error) {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	gen, committed, err := readCurrent(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	var e *Engine
+	switch {
+	case committed:
+		snapDir := filepath.Join(dir, snapName(gen))
+		if err := verifyManifest(fs, snapDir); err != nil {
+			return nil, fmt.Errorf("%s: %w", snapName(gen), err)
+		}
+		e, err = loadState(fs, snapDir, opt)
+		if err != nil {
+			return nil, err
+		}
+		if err := replayWAL(fs, filepath.Join(dir, walName(gen)), e); err != nil {
+			return nil, err
+		}
+	case legacyLayout(fs, dir):
+		e, err = loadState(fs, dir, opt)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		e = New(opt)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.checkpointLocked(fs, dir, gen); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return e, nil
+}
+
+// readCurrent reads the committed generation from CURRENT; a missing
+// file means the directory has no committed generation yet.
+func readCurrent(fs faultfs.FS, dir string) (gen uint64, committed bool, err error) {
+	data, err := fs.ReadFile(filepath.Join(dir, currentName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	name := strings.TrimSpace(string(data))
+	if _, err := fmt.Sscanf(name, "snap-%d", &gen); err != nil || name != snapName(gen) {
+		return 0, false, fmt.Errorf("%s: malformed content %q", currentName, name)
+	}
+	return gen, true, nil
+}
+
+// legacyLayout reports a flat Save directory (pre-durable format).
+func legacyLayout(fs faultfs.FS, dir string) bool {
+	_, err := fs.Stat(filepath.Join(dir, "schema.authdb"))
+	return err == nil
+}
+
+// verifyManifest checks every snapshot file against the CRC-32 and size
+// recorded when the snapshot was committed.
+func verifyManifest(fs faultfs.FS, snapDir string) error {
+	data, err := fs.ReadFile(filepath.Join(snapDir, manifestName))
+	if err != nil {
+		return fmt.Errorf("reading manifest: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var sum uint32
+		var size int
+		var rel string
+		if _, err := fmt.Sscanf(line, "%x %d %s", &sum, &size, &rel); err != nil {
+			return fmt.Errorf("malformed manifest line %q", line)
+		}
+		b, err := fs.ReadFile(filepath.Join(snapDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return fmt.Errorf("manifest names %s: %w", rel, err)
+		}
+		if len(b) != size || crc32.ChecksumIEEE(b) != sum {
+			return fmt.Errorf("%s: checksum mismatch (snapshot corrupt)", rel)
+		}
+	}
+	return nil
+}
+
+// replayWAL applies the log's valid prefix to e through an admin
+// session. The engine is not yet attached to the log, so replayed
+// statements are not re-journaled.
+func replayWAL(fs faultfs.FS, path string, e *Engine) error {
+	admin := e.NewSession("admin", true)
+	_, err := wal.Replay(fs, path, func(i int, stmt string) error {
+		if _, err := admin.Exec(stmt); err != nil {
+			return fmt.Errorf("replaying %s record %d (%s): %w", filepath.Base(path), i+1, firstLine(stmt), err)
+		}
+		return nil
+	})
+	return err
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " …"
+	}
+	return s
+}
+
+// Checkpoint folds the write-ahead log into a fresh snapshot generation,
+// bounding recovery time. It runs automatically on OpenDurable; call it
+// after bulk loads. The engine must be durable and not failed.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dur == nil {
+		return fmt.Errorf("engine has no durable directory")
+	}
+	if e.dur.broken != nil {
+		return fmt.Errorf("durable state failed: %w", e.dur.broken)
+	}
+	return e.checkpointLocked(e.dur.fs, e.dur.dir, e.dur.gen)
+}
+
+// checkpointLocked writes generation gen+1 and commits it. Callers hold
+// e.mu. On error the previous generation stays committed and the
+// engine's attachment is unchanged.
+func (e *Engine) checkpointLocked(fs faultfs.FS, dir string, gen uint64) error {
+	next := gen + 1
+	files, err := e.snapshotFiles()
+	if err != nil {
+		return err
+	}
+
+	// Build the snapshot in a temp directory: contents, MANIFEST, fsyncs.
+	tmp := filepath.Join(dir, snapName(next)+".tmp")
+	if err := fs.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := fs.MkdirAll(filepath.Join(tmp, "data"), 0o755); err != nil {
+		return err
+	}
+	var manifest strings.Builder
+	for _, rel := range sortedPaths(files) {
+		if err := writeFileSync(fs, filepath.Join(tmp, filepath.FromSlash(rel)), files[rel]); err != nil {
+			return err
+		}
+		fmt.Fprintf(&manifest, "%08x %d %s\n", crc32.ChecksumIEEE(files[rel]), len(files[rel]), rel)
+	}
+	if err := writeFileSync(fs, filepath.Join(tmp, manifestName), []byte(manifest.String())); err != nil {
+		return err
+	}
+	if err := fs.SyncDir(filepath.Join(tmp, "data")); err != nil {
+		return err
+	}
+	if err := fs.SyncDir(tmp); err != nil {
+		return err
+	}
+
+	// Move the snapshot to its final name and start its empty WAL.
+	final := filepath.Join(dir, snapName(next))
+	if err := fs.RemoveAll(final); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return err
+	}
+	wl, err := wal.Create(fs, filepath.Join(dir, walName(next)))
+	if err != nil {
+		return err
+	}
+
+	// Commit point: CURRENT flips to the new generation atomically.
+	curTmp := filepath.Join(dir, currentName+".tmp")
+	if err := writeFileSync(fs, curTmp, []byte(snapName(next)+"\n")); err != nil {
+		wl.Close()
+		return err
+	}
+	if err := fs.Rename(curTmp, filepath.Join(dir, currentName)); err != nil {
+		wl.Close()
+		return err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		wl.Close()
+		return err
+	}
+
+	// Committed. Install the new log and reclaim the old generation
+	// (best effort — leftovers are ignored and retried next checkpoint).
+	if e.dur != nil && e.dur.wal != nil {
+		e.dur.wal.Close()
+	}
+	e.dur = &durable{fs: fs, dir: dir, gen: next, wal: wl}
+	if gen > 0 {
+		fs.RemoveAll(filepath.Join(dir, snapName(gen)))
+		fs.Remove(filepath.Join(dir, walName(gen)))
+	}
+	return nil
+}
+
+// durCheck refuses mutations once the durable layer has failed.
+// Callers hold e.mu.
+func (e *Engine) durCheck() error {
+	if e.dur != nil && e.dur.broken != nil {
+		return fmt.Errorf("durable log failed, mutations are disabled: %w", e.dur.broken)
+	}
+	return nil
+}
+
+// logStmt journals an applied mutating statement. Callers hold e.mu for
+// writing and have already applied the mutation; a journaling failure
+// marks the durable state broken (fail stop).
+func (e *Engine) logStmt(p parser.Stmt) error {
+	if e.dur == nil {
+		return nil
+	}
+	text, err := parser.Render(p)
+	if err == nil {
+		err = e.dur.wal.Append(text)
+	}
+	if err != nil {
+		e.dur.broken = err
+		return fmt.Errorf("journaling statement: %w", err)
+	}
+	return nil
+}
+
+// Close releases the durable log handle. The in-memory state stays
+// readable; further mutations on a durable engine fail. Engines without
+// a durable directory close trivially.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dur == nil || e.dur.wal == nil {
+		return nil
+	}
+	err := e.dur.wal.Close()
+	e.dur.broken = errors.New("engine closed")
+	e.dur.wal = nil
+	return err
+}

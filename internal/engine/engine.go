@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"authdb/internal/algebra"
 	"authdb/internal/core"
 	"authdb/internal/cview"
+	"authdb/internal/guard"
 	"authdb/internal/parser"
 	"authdb/internal/relation"
 	"authdb/internal/value"
@@ -33,6 +35,9 @@ type Engine struct {
 	rels  map[string]*relation.Relation
 	store *core.Store
 	opt   core.Options
+	// dur is the crash-safe persistence attachment (nil for in-memory
+	// engines); see durable.go.
+	dur *durable
 }
 
 // New creates an empty engine with the given authorization options.
@@ -91,43 +96,68 @@ type Result struct {
 }
 
 // Session executes statements on behalf of one user. Admin sessions
-// bypass authorization; user sessions are masked and restricted.
+// bypass authorization; user sessions are masked and restricted. A
+// session is not safe for concurrent use; open one session per
+// goroutine (sessions are cheap, the engine underneath is shared and
+// thread-safe).
 type Session struct {
-	eng   *Engine
-	user  string
-	admin bool
+	eng    *Engine
+	user   string
+	admin  bool
+	limits guard.Limits
 }
 
 // NewSession opens a session for user; admin sessions may define schema,
-// views, and permits, and read everything.
+// views, and permits, and read everything. Sessions start with
+// guard.DefaultLimits; see SetLimits.
 func (e *Engine) NewSession(user string, admin bool) *Session {
-	return &Session{eng: e, user: user, admin: admin}
+	return &Session{eng: e, user: user, admin: admin, limits: guard.DefaultLimits()}
 }
 
 // User returns the session's user name.
 func (s *Session) User() string { return s.user }
 
+// SetLimits replaces the session's per-statement resource limits. Zero
+// fields are unlimited.
+func (s *Session) SetLimits(l guard.Limits) { s.limits = l }
+
+// Limits returns the session's per-statement resource limits.
+func (s *Session) Limits() guard.Limits { return s.limits }
+
 // Exec parses and executes one statement.
 func (s *Session) Exec(stmt string) (*Result, error) {
+	return s.ExecContext(context.Background(), stmt)
+}
+
+// ExecContext parses and executes one statement under ctx: cancellation
+// and deadline are honored at tuple-batch granularity and surface as
+// guard.ErrCanceled.
+func (s *Session) ExecContext(ctx context.Context, stmt string) (*Result, error) {
 	p, err := parser.Parse(stmt)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(p)
+	return s.ExecStmtContext(ctx, p)
 }
 
 // ExecScript executes a semicolon-separated script, stopping at the first
 // error and returning the results so far.
 func (s *Session) ExecScript(script string) ([]*Result, error) {
-	stmts, err := parser.ParseProgram(script)
+	return s.ExecScriptContext(context.Background(), script)
+}
+
+// ExecScriptContext is ExecScript under ctx; execution errors carry the
+// source line of the failing statement.
+func (s *Session) ExecScriptContext(ctx context.Context, script string) ([]*Result, error) {
+	stmts, err := parser.ParseProgramPos(script)
 	if err != nil {
 		return nil, err
 	}
 	var out []*Result
-	for _, p := range stmts {
-		r, err := s.ExecStmt(p)
+	for _, sp := range stmts {
+		r, err := s.ExecStmtContext(ctx, sp.Stmt)
 		if err != nil {
-			return out, err
+			return out, fmt.Errorf("line %d: %w", sp.Line, err)
 		}
 		out = append(out, r)
 	}
@@ -136,6 +166,22 @@ func (s *Session) ExecScript(script string) ([]*Result, error) {
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(p parser.Stmt) (*Result, error) {
+	return s.ExecStmtContext(context.Background(), p)
+}
+
+// ExecStmtContext executes a parsed statement under ctx and the
+// session's limits. A panic anywhere in the execution machinery is
+// recovered and returned as an error: one poisoned statement must not
+// take down a process serving other sessions.
+func (s *Session) ExecStmtContext(ctx context.Context, p parser.Stmt) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("internal error executing statement: %v", r)
+		}
+	}()
+	if ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", guard.ErrCanceled, ctx.Err())
+	}
 	switch p := p.(type) {
 	case parser.CreateRelation:
 		return s.createRelation(p)
@@ -153,11 +199,11 @@ func (s *Session) ExecStmt(p parser.Stmt) (*Result, error) {
 		return s.revoke(p)
 	case parser.Retrieve:
 		if len(p.Aggs) > 0 {
-			return s.retrieveAgg(p)
+			return s.retrieveAgg(ctx, p)
 		}
-		return s.Retrieve(p.Def)
+		return s.RetrieveContext(ctx, p.Def)
 	case parser.Explain:
-		return s.explain(p.Def)
+		return s.explain(ctx, p.Def)
 	case parser.Show:
 		return s.show(p)
 	default:
@@ -182,10 +228,16 @@ func (s *Session) createRelation(p parser.CreateRelation) (*Result, error) {
 	}
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
+	if err := s.eng.durCheck(); err != nil {
+		return nil, err
+	}
 	if err := s.eng.sch.Add(rs); err != nil {
 		return nil, err
 	}
 	s.eng.rels[p.Name] = relation.FromSchema(rs)
+	if err := s.eng.logStmt(p); err != nil {
+		return nil, err
+	}
 	return &Result{Text: "defined relation " + rs.String()}, nil
 }
 
@@ -195,7 +247,13 @@ func (s *Session) defineView(p parser.ViewStmt) (*Result, error) {
 	}
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
+	if err := s.eng.durCheck(); err != nil {
+		return nil, err
+	}
 	if err := s.eng.store.DefineView(p.Def); err != nil {
+		return nil, err
+	}
+	if err := s.eng.logStmt(p); err != nil {
 		return nil, err
 	}
 	return &Result{Text: "defined view " + p.Def.Name}, nil
@@ -207,8 +265,14 @@ func (s *Session) dropView(p parser.DropView) (*Result, error) {
 	}
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
+	if err := s.eng.durCheck(); err != nil {
+		return nil, err
+	}
 	if !s.eng.store.DropView(p.Name) {
 		return nil, fmt.Errorf("unknown view %s", p.Name)
+	}
+	if err := s.eng.logStmt(p); err != nil {
+		return nil, err
 	}
 	return &Result{Text: "dropped view " + p.Name}, nil
 }
@@ -219,7 +283,13 @@ func (s *Session) permit(p parser.Permit) (*Result, error) {
 	}
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
+	if err := s.eng.durCheck(); err != nil {
+		return nil, err
+	}
 	if err := s.eng.store.Permit(p.View, p.User); err != nil {
+		return nil, err
+	}
+	if err := s.eng.logStmt(p); err != nil {
 		return nil, err
 	}
 	return &Result{Text: fmt.Sprintf("permitted %s to %s", p.View, p.User)}, nil
@@ -231,8 +301,14 @@ func (s *Session) revoke(p parser.Revoke) (*Result, error) {
 	}
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
+	if err := s.eng.durCheck(); err != nil {
+		return nil, err
+	}
 	if !s.eng.store.Revoke(p.View, p.User) {
 		return nil, fmt.Errorf("no permit of %s to %s", p.View, p.User)
+	}
+	if err := s.eng.logStmt(p); err != nil {
+		return nil, err
 	}
 	return &Result{Text: fmt.Sprintf("revoked %s from %s", p.View, p.User)}, nil
 }
@@ -240,6 +316,16 @@ func (s *Session) revoke(p parser.Revoke) (*Result, error) {
 // Retrieve answers a query definition under the session's authority.
 // Admin sessions receive the unmasked answer.
 func (s *Session) Retrieve(def *cview.Def) (*Result, error) {
+	return s.RetrieveContext(context.Background(), def)
+}
+
+// RetrieveContext is Retrieve under ctx and the session's limits: a
+// runaway query fails with guard.ErrBudgetExceeded, a canceled or timed
+// out one with guard.ErrCanceled, and the engine keeps serving other
+// sessions.
+func (s *Session) RetrieveContext(ctx context.Context, def *cview.Def) (*Result, error) {
+	g := guard.New(ctx, s.limits)
+	defer g.Close()
 	s.eng.mu.RLock()
 	defer s.eng.mu.RUnlock()
 	if s.admin {
@@ -247,15 +333,22 @@ func (s *Session) Retrieve(def *cview.Def) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ans, err := algebra.EvalOptimized(an.PSJ, s.eng.source)
+		ans, err := algebra.EvalOptimizedGuarded(an.PSJ, s.eng.source, g)
 		if err != nil {
+			return nil, err
+		}
+		if err := g.Result(ans.Len()); err != nil {
 			return nil, err
 		}
 		return &Result{Relation: ans}, nil
 	}
 	auth := core.NewAuthorizer(s.eng.store, s.eng.source, s.eng.opt)
+	auth.Guard = g
 	d, err := auth.Retrieve(s.user, def)
 	if err != nil {
+		return nil, err
+	}
+	if err := g.Result(d.Masked.Len()); err != nil {
 		return nil, err
 	}
 	return &Result{Relation: d.Masked, Permits: d.Permits, Decision: d}, nil
@@ -285,12 +378,15 @@ func (e *Engine) Certify(quality, query string) (*core.Certification, error) {
 // and the outcome. User sessions explain under their own permissions;
 // admin sessions must name a user via "explain" being unavailable — they
 // see everything anyway, so explain runs with the session user either way.
-func (s *Session) explain(def *cview.Def) (*Result, error) {
+func (s *Session) explain(ctx context.Context, def *cview.Def) (*Result, error) {
+	g := guard.New(ctx, s.limits)
+	defer g.Close()
 	s.eng.mu.RLock()
 	defer s.eng.mu.RUnlock()
 	opt := s.eng.opt
 	opt.CollectIntermediates = true
 	auth := core.NewAuthorizer(s.eng.store, s.eng.source, opt)
+	auth.Guard = g
 	d, err := auth.Retrieve(s.user, def)
 	if err != nil {
 		return nil, err
@@ -322,6 +418,9 @@ func (s *Session) explain(def *cview.Def) (*Result, error) {
 func (s *Session) insert(p parser.Insert) (*Result, error) {
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
+	if err := s.eng.durCheck(); err != nil {
+		return nil, err
+	}
 	r, err := s.eng.source(p.Rel)
 	if err != nil {
 		return nil, err
@@ -342,12 +441,18 @@ func (s *Session) insert(p parser.Insert) (*Result, error) {
 	if !added {
 		return &Result{Text: "duplicate tuple ignored"}, nil
 	}
+	if err := s.eng.logStmt(p); err != nil {
+		return nil, err
+	}
 	return &Result{Text: "inserted 1 tuple into " + p.Rel}, nil
 }
 
 func (s *Session) delete(p parser.Delete) (*Result, error) {
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
+	if err := s.eng.durCheck(); err != nil {
+		return nil, err
+	}
 	r, err := s.eng.source(p.Rel)
 	if err != nil {
 		return nil, err
@@ -368,6 +473,11 @@ func (s *Session) delete(p parser.Delete) (*Result, error) {
 		}
 	}
 	n := r.Delete(pred)
+	if n > 0 {
+		if err := s.eng.logStmt(p); err != nil {
+			return nil, err
+		}
+	}
 	return &Result{Text: fmt.Sprintf("deleted %d tuple(s) from %s", n, p.Rel)}, nil
 }
 

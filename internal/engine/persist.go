@@ -1,29 +1,29 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"authdb/internal/core"
+	"authdb/internal/faultfs"
 	"authdb/internal/relation"
 )
 
-// Save writes the engine's complete state into dir:
+// snapshotFiles renders the engine's complete state as a set of files,
+// keyed by slash-separated path relative to the save directory:
 //
 //	schema.authdb   relation statements
 //	views.authdb    view definitions and permits, in definition order
 //	data/REL.csv    one CSV per base relation
 //
-// The directory is created if missing; existing files are overwritten.
-// Load restores an equivalent engine.
-func (e *Engine) Save(dir string) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if err := os.MkdirAll(filepath.Join(dir, "data"), 0o755); err != nil {
-		return err
-	}
+// Callers hold e.mu (either mode). The same rendering backs the flat
+// Save layout, the durable snapshot generations, and the crash-recovery
+// tests' state fingerprints.
+func (e *Engine) snapshotFiles() (map[string][]byte, error) {
+	files := make(map[string][]byte)
 
 	var schema strings.Builder
 	for _, name := range e.sch.Names() {
@@ -34,9 +34,7 @@ func (e *Engine) Save(dir string) error {
 		}
 		schema.WriteString(";\n")
 	}
-	if err := os.WriteFile(filepath.Join(dir, "schema.authdb"), []byte(schema.String()), 0o644); err != nil {
-		return err
-	}
+	files["schema.authdb"] = []byte(schema.String())
 
 	var views strings.Builder
 	for _, name := range e.store.ViewNames() {
@@ -48,21 +46,81 @@ func (e *Engine) Save(dir string) error {
 			fmt.Fprintf(&views, "permit %s to %s;\n", v, user)
 		}
 	}
-	if err := os.WriteFile(filepath.Join(dir, "views.authdb"), []byte(views.String()), 0o644); err != nil {
-		return err
-	}
+	files["views.authdb"] = []byte(views.String())
 
 	for _, name := range e.sch.Names() {
-		f, err := os.Create(filepath.Join(dir, "data", name+".csv"))
-		if err != nil {
-			return err
+		var buf bytes.Buffer
+		if err := e.rels[name].WriteCSV(&buf); err != nil {
+			return nil, fmt.Errorf("rendering %s: %w", name, err)
 		}
-		if err := e.rels[name].WriteCSV(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
+		files["data/"+name+".csv"] = buf.Bytes()
+	}
+	return files, nil
+}
+
+// sortedPaths returns the file map's keys in deterministic order.
+func sortedPaths(files map[string][]byte) []string {
+	out := make([]string, 0, len(files))
+	for p := range files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeFileSync writes path in one shot and fsyncs it; the file's
+// directory entry still needs a SyncDir to be durable.
+func writeFileSync(fs faultfs.FS, path string, data []byte) error {
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeFileAtomic writes path via a sibling temp file, fsyncs, and
+// renames into place, so a crash leaves either the old content or the
+// new, never a torn file.
+func writeFileAtomic(fs faultfs.FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := writeFileSync(fs, tmp, data); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
+}
+
+// Save writes the engine's complete state into dir in the flat layout
+// (schema.authdb, views.authdb, data/REL.csv). Every file is written
+// atomically (temp file + fsync + rename); the directory is created if
+// missing and existing files are replaced. Load restores an equivalent
+// engine. For crash atomicity across the whole file set, use OpenDurable
+// instead — Save is the export/import surface.
+func (e *Engine) Save(dir string) error {
+	e.mu.RLock()
+	files, err := e.snapshotFiles()
+	e.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	fs := faultfs.OS()
+	if err := fs.MkdirAll(filepath.Join(dir, "data"), 0o755); err != nil {
+		return err
+	}
+	for _, rel := range sortedPaths(files) {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := writeFileAtomic(fs, path, files[rel]); err != nil {
+			return fmt.Errorf("saving %s: %w", rel, err)
 		}
 	}
 	return nil
@@ -70,25 +128,33 @@ func (e *Engine) Save(dir string) error {
 
 // Load restores an engine saved with Save.
 func Load(dir string, opt core.Options) (*Engine, error) {
+	return loadState(faultfs.OS(), dir, opt)
+}
+
+// loadState rebuilds an engine from a flat state directory (the Save
+// layout; also the inside of a durable snapshot generation), reading
+// through fs. Errors carry the file and, for replayed statements, the
+// line that failed.
+func loadState(fs faultfs.FS, dir string, opt core.Options) (*Engine, error) {
 	e := New(opt)
 	admin := e.NewSession("admin", true)
 
-	schema, err := os.ReadFile(filepath.Join(dir, "schema.authdb"))
+	schemaPath := filepath.Join(dir, "schema.authdb")
+	schema, err := fs.ReadFile(schemaPath)
 	if err != nil {
 		return nil, fmt.Errorf("loading schema: %w", err)
 	}
 	if _, err := admin.ExecScript(string(schema)); err != nil {
-		return nil, fmt.Errorf("replaying schema: %w", err)
+		return nil, fmt.Errorf("replaying %s: %w", schemaPath, err)
 	}
 
 	for _, name := range e.sch.Names() {
 		path := filepath.Join(dir, "data", name+".csv")
-		f, err := os.Open(path)
+		raw, err := fs.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("loading %s: %w", name, err)
 		}
-		rel, err := relation.ReadCSV(f)
-		f.Close()
+		rel, err := relation.ReadCSV(bytes.NewReader(raw))
 		if err != nil {
 			return nil, fmt.Errorf("parsing %s: %w", path, err)
 		}
@@ -102,12 +168,13 @@ func Load(dir string, opt core.Options) (*Engine, error) {
 		}
 	}
 
-	views, err := os.ReadFile(filepath.Join(dir, "views.authdb"))
+	viewsPath := filepath.Join(dir, "views.authdb")
+	views, err := fs.ReadFile(viewsPath)
 	if err != nil {
 		return nil, fmt.Errorf("loading views: %w", err)
 	}
 	if _, err := admin.ExecScript(string(views)); err != nil {
-		return nil, fmt.Errorf("replaying views: %w", err)
+		return nil, fmt.Errorf("replaying %s: %w", viewsPath, err)
 	}
 	return e, nil
 }

@@ -1,0 +1,128 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read %q, %v", data, err)
+	}
+	if err := fs.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("readdir %v, %v", ents, err)
+	}
+}
+
+func TestFaultyTripsAtExactOp(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaulty(OS())
+
+	// The sequence below performs: Create (op 0), Write (op 1), Sync (op 2).
+	run := func() error {
+		f, err := ff.Create(filepath.Join(dir, "x"))
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("data")); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	for k := 0; k < 3; k++ {
+		ff.Arm(k)
+		err := run()
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("k=%d: got %v, want injected failure", k, err)
+		}
+		if !ff.Tripped() {
+			t.Fatalf("k=%d: not tripped", k)
+		}
+	}
+	ff.Arm(3)
+	if err := run(); err != nil {
+		t.Fatalf("k=3: run must complete, got %v", err)
+	}
+	if ff.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3", ff.Ops())
+	}
+}
+
+func TestFaultyStaysDownAfterTrip(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaulty(OS())
+	ff.Arm(0)
+	if _, err := ff.Create(filepath.Join(dir, "x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v", err)
+	}
+	// Every further mutating op fails; reads keep working.
+	if err := ff.MkdirAll(filepath.Join(dir, "d"), 0o755); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip mkdir: %v", err)
+	}
+	if _, err := ff.ReadDir(dir); err != nil {
+		t.Fatalf("post-trip read: %v", err)
+	}
+	ff.Disarm()
+	if err := ff.MkdirAll(filepath.Join(dir, "d"), 0o755); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+func TestFaultyShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaulty(OS())
+	ff.ShortWrites = true
+	path := filepath.Join(dir, "x")
+	f, err := ff.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.Arm(0)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write persisted %d bytes, want 5", n)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "01234" {
+		t.Fatalf("on disk %q, %v", data, err)
+	}
+}

@@ -1,0 +1,84 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilGuardIsUnlimited(t *testing.T) {
+	var g *Guard
+	if err := g.Add(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Result(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	g.Close() // must not panic
+	if g.Context() == nil {
+		t.Fatal("nil guard context")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	g := New(context.Background(), Limits{MaxIntermediateRows: 10})
+	defer g.Close()
+	if err := g.Add(10); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := g.Add(1)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestResultLimit(t *testing.T) {
+	g := New(context.Background(), Limits{MaxResultRows: 5})
+	defer g.Close()
+	if err := g.Result(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Result(6); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestCanceledContextSurfacesWithinOneBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := New(ctx, Unlimited())
+	defer g.Close()
+	var err error
+	// Cancellation must surface after at most one batch of single-row adds.
+	for i := 0; i < batchSize+1; i++ {
+		if err = g.Add(1); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if err := g.Check(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Check got %v, want ErrCanceled", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	g := New(context.Background(), Limits{Timeout: time.Nanosecond})
+	defer g.Close()
+	time.Sleep(time.Millisecond)
+	if err := g.Check(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestDefaultLimitsAreFinite(t *testing.T) {
+	l := DefaultLimits()
+	if l.MaxIntermediateRows <= 0 || l.MaxResultRows <= 0 || l.Timeout <= 0 {
+		t.Fatalf("default limits must be finite: %+v", l)
+	}
+}

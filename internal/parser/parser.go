@@ -146,27 +146,15 @@ func Parse(input string) (Stmt, error) {
 
 // ParseProgram parses a semicolon-separated sequence of statements.
 func ParseProgram(input string) ([]Stmt, error) {
-	toks, err := lex(input)
+	sps, err := ParseProgramPos(input)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
-	var out []Stmt
-	for {
-		for p.accept(tokSemi) {
-		}
-		if p.peek().kind == tokEOF {
-			return out, nil
-		}
-		s, err := p.statement()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-		if p.peek().kind != tokEOF && !p.accept(tokSemi) {
-			return nil, fmt.Errorf("pos %d: expected ';' between statements, found %s", p.peek().pos, p.peek())
-		}
+	out := make([]Stmt, len(sps))
+	for i, sp := range sps {
+		out[i] = sp.Stmt
 	}
+	return out, nil
 }
 
 func (p *parser) statement() (Stmt, error) {

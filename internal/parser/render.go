@@ -1,0 +1,108 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"authdb/internal/value"
+)
+
+// StmtPos pairs a parsed statement with the 1-based source line of its
+// first token, so script errors can point at the offending statement.
+type StmtPos struct {
+	Stmt Stmt
+	Line int
+}
+
+// ParseProgramPos parses a semicolon-separated sequence of statements,
+// reporting each statement's source line.
+func ParseProgramPos(input string) ([]StmtPos, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []StmtPos
+	for {
+		for p.accept(tokSemi) {
+		}
+		if p.peek().kind == tokEOF {
+			return out, nil
+		}
+		line := lineAt(input, p.peek().pos)
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StmtPos{Stmt: s, Line: line})
+		if p.peek().kind != tokEOF && !p.accept(tokSemi) {
+			return nil, fmt.Errorf("pos %d: expected ';' between statements, found %s", p.peek().pos, p.peek())
+		}
+	}
+}
+
+// lineAt returns the 1-based line of byte offset pos in input.
+func lineAt(input string, pos int) int {
+	if pos > len(input) {
+		pos = len(input)
+	}
+	return 1 + strings.Count(input[:pos], "\n")
+}
+
+// Render serializes a mutating statement back to statement-language text
+// that reparses to an equivalent statement; the engine's write-ahead log
+// stores statements in this form. Only the journaled statement kinds
+// (relation, insert, delete, view, drop view, permit, revoke) render;
+// anything else — and any constant without a literal form — is an error.
+func Render(s Stmt) (string, error) {
+	switch s := s.(type) {
+	case CreateRelation:
+		var b strings.Builder
+		b.WriteString("relation " + s.Name + " (" + strings.Join(s.Attrs, ", ") + ")")
+		if len(s.Key) > 0 {
+			b.WriteString(" key (" + strings.Join(s.Key, ", ") + ")")
+		}
+		return b.String(), nil
+	case Insert:
+		lits := make([]string, len(s.Values))
+		for i, v := range s.Values {
+			if !value.Representable(v) {
+				return "", fmt.Errorf("insert into %s: value %s has no literal form", s.Rel, v)
+			}
+			lits[i] = value.Literal(v)
+		}
+		return "insert into " + s.Rel + " values (" + strings.Join(lits, ", ") + ")", nil
+	case Delete:
+		var b strings.Builder
+		b.WriteString("delete from " + s.Rel)
+		for i, c := range s.Where {
+			if !c.R.IsCol && !value.Representable(c.R.Const) {
+				return "", fmt.Errorf("delete from %s: constant %s has no literal form", s.Rel, c.R.Const)
+			}
+			if i == 0 {
+				b.WriteString(" where ")
+			} else {
+				b.WriteString(" and ")
+			}
+			b.WriteString(c.String())
+		}
+		return b.String(), nil
+	case ViewStmt:
+		for _, branch := range s.Def.Branches() {
+			for _, c := range branch {
+				if !c.R.IsCol && !value.Representable(c.R.Const) {
+					return "", fmt.Errorf("view %s: constant %s has no literal form", s.Def.Name, c.R.Const)
+				}
+			}
+		}
+		return s.Def.String(), nil
+	case DropView:
+		return "drop view " + s.Name, nil
+	case Permit:
+		return "permit " + s.View + " to " + s.User, nil
+	case Revoke:
+		return "revoke " + s.View + " from " + s.User, nil
+	default:
+		return "", fmt.Errorf("statement %T has no canonical rendering", s)
+	}
+}

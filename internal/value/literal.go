@@ -1,0 +1,69 @@
+package value
+
+import "unicode"
+
+// Literal renders v as a statement-language literal that reparses to an
+// equal value: integers in decimal, strings bare when they lex as a
+// single identifier and double-quoted otherwise. The null value has no
+// literal form (base relations never store nulls) and renders as its
+// display form "-"; serializers must check Representable first.
+func Literal(v Value) string {
+	switch v.kind {
+	case KindString:
+		if bareWord(v.s) {
+			return v.s
+		}
+		return `"` + v.s + `"`
+	default:
+		return v.String()
+	}
+}
+
+// Representable reports whether Literal(v) reparses to a value equal to
+// v. It is false for null (no literal form) and for strings containing a
+// double quote (the statement language has no escape sequences).
+func Representable(v Value) bool {
+	if v.kind == KindNull {
+		return false
+	}
+	if v.kind == KindString {
+		for i := 0; i < len(v.s); i++ {
+			if v.s[i] == '"' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bareWord mirrors the statement lexer's identifier rule: a letter or
+// underscore followed by letters, digits, underscores, and interior
+// hyphens that glue to a following identifier character ("bq-45"). A word
+// failing this must be quoted or it would lex as something else.
+func bareWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	runes := []rune(s)
+	if !unicode.IsLetter(runes[0]) && runes[0] != '_' {
+		return false
+	}
+	for i := 1; i < len(runes); i++ {
+		r := runes[i]
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+		case r >= '0' && r <= '9':
+		case r == '-':
+			if i+1 >= len(runes) {
+				return false
+			}
+			n := runes[i+1]
+			if !unicode.IsLetter(n) && n != '_' && !(n >= '0' && n <= '9') {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -33,13 +33,13 @@ func (f *Fixture) Source(name string) (*relation.Relation, error) {
 // MustExec applies a script of statements to the fixture (DDL, DML, view
 // definitions and permits); it panics on any error, for fixtures only.
 func (f *Fixture) MustExec(script string) {
-	stmts, err := parser.ParseProgram(script)
+	stmts, err := parser.ParseProgramPos(script)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("workload script: %w", err))
 	}
-	for _, s := range stmts {
-		if err := f.apply(s); err != nil {
-			panic(err)
+	for _, sp := range stmts {
+		if err := f.apply(sp.Stmt); err != nil {
+			panic(fmt.Errorf("workload script line %d (%T): %w", sp.Line, sp.Stmt, err))
 		}
 	}
 }

@@ -1,0 +1,160 @@
+package authdb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"authdb"
+	"authdb/internal/workload"
+)
+
+// wideDB builds a database whose self-product blows past the default
+// intermediate-row budget: 1100 x 1100 > 1,000,000.
+func wideDB(t testing.TB) *authdb.DB {
+	t.Helper()
+	db := authdb.Open()
+	var script strings.Builder
+	script.WriteString("relation WIDE (ID, GRP) key (ID);\n")
+	for i := 0; i < 1100; i++ {
+		fmt.Fprintf(&script, "insert into WIDE values (%d, %d);\n", i, i%7)
+	}
+	db.Admin().MustExecScript(script.String())
+	return db
+}
+
+const selfProduct = `
+retrieve (WIDE:1.ID, WIDE:2.ID)
+  where WIDE:1.GRP >= 0
+  and WIDE:2.GRP >= 0`
+
+func TestBudgetExceededDeterministic(t *testing.T) {
+	db := wideDB(t)
+	admin := db.Admin()
+	if _, err := admin.Exec(selfProduct); !errors.Is(err, authdb.ErrBudgetExceeded) {
+		t.Fatalf("runaway self-product: got %v, want ErrBudgetExceeded", err)
+	}
+	// The budget error is per-statement: the session keeps serving.
+	res, err := admin.Exec(`retrieve (WIDE.ID) where WIDE.ID = 7`)
+	if err != nil {
+		t.Fatalf("session broken after budget error: %v", err)
+	}
+	if len(res.Table.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Table.Rows))
+	}
+}
+
+func TestBudgetExceededUnprivileged(t *testing.T) {
+	db := wideDB(t)
+	db.Admin().MustExecScript(`
+		view VW (WIDE:1.ID, WIDE:2.ID)
+		  where WIDE:1.GRP >= 0 and WIDE:2.GRP >= 0;
+		permit VW to eve;
+	`)
+	if _, err := db.Session("eve").Exec(selfProduct); !errors.Is(err, authdb.ErrBudgetExceeded) {
+		t.Fatalf("authorized self-product: got %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestUnlimitedLiftsBudget(t *testing.T) {
+	db := authdb.Open()
+	var script strings.Builder
+	script.WriteString("relation WIDE (ID, GRP) key (ID);\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&script, "insert into WIDE values (%d, %d);\n", i, i%7)
+	}
+	db.Admin().MustExecScript(script.String())
+
+	tight := db.Admin().SetLimits(authdb.Limits{MaxIntermediateRows: 10_000})
+	if _, err := tight.Exec(selfProduct); !errors.Is(err, authdb.ErrBudgetExceeded) {
+		t.Fatalf("tight budget: got %v, want ErrBudgetExceeded", err)
+	}
+	free := db.Admin().SetLimits(authdb.Unlimited())
+	res, err := free.Exec(selfProduct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Table.Rows); got != 200*200 {
+		t.Fatalf("got %d rows, want %d", got, 200*200)
+	}
+}
+
+func TestResultRowsBudget(t *testing.T) {
+	db := wideDB(t)
+	admin := db.Admin().SetLimits(authdb.Limits{MaxResultRows: 100})
+	if _, err := admin.Exec(`retrieve (WIDE.ID)`); !errors.Is(err, authdb.ErrBudgetExceeded) {
+		t.Fatalf("oversized answer: got %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	db := paperDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.Admin().ExecContext(ctx, `retrieve (EMPLOYEE.NAME)`)
+	if !errors.Is(err, authdb.ErrCanceled) {
+		t.Fatalf("pre-canceled context: got %v, want ErrCanceled", err)
+	}
+	// A live context still works on the same session.
+	if _, err := db.Admin().ExecContext(context.Background(), `retrieve (EMPLOYEE.NAME)`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpiredTimeoutLimit(t *testing.T) {
+	db := wideDB(t)
+	admin := db.Admin().SetLimits(authdb.Limits{Timeout: time.Nanosecond})
+	// The deadline expires before (or within one tuple batch of) the
+	// product scan; either way the statement must fail with ErrCanceled.
+	if _, err := admin.Exec(selfProduct); !errors.Is(err, authdb.ErrCanceled) {
+		t.Fatalf("expired timeout: got %v, want ErrCanceled", err)
+	}
+}
+
+// TestConcurrentSessions hammers one engine from parallel readers and a
+// writer; run under -race this checks the locking discipline, and the
+// budget errors of some readers must not poison the others.
+func TestConcurrentSessions(t *testing.T) {
+	db := paperDB(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			brown := db.Session("Brown")
+			for i := 0; i < 25; i++ {
+				if _, err := brown.Exec(workload.Example1Query); err != nil {
+					errs <- fmt.Errorf("worker %d query: %w", w, err)
+					return
+				}
+				if _, err := brown.Exec(workload.Example3Query); err != nil {
+					errs <- fmt.Errorf("worker %d query: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		admin := db.Admin()
+		for i := 0; i < 50; i++ {
+			stmt := fmt.Sprintf("insert into EMPLOYEE values (w%d, clerk, %d)", i, 15000+i)
+			if _, err := admin.Exec(stmt); err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
