@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench
+.PHONY: check build vet test race fuzz bench benchgo
 
 check: build vet race
 
@@ -23,5 +23,11 @@ race:
 fuzz:
 	$(GO) test ./internal/engine -fuzz FuzzSessionExec -fuzztime 30s
 
+# Reproducible throughput/latency harness for concurrent masked
+# retrieval; writes BENCH_parallel.json (see cmd/authdb/bench.go).
 bench:
+	$(GO) run ./cmd/authdb bench
+
+# Go testing.B micro-benchmarks.
+benchgo:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

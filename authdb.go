@@ -56,6 +56,11 @@ type Limits struct {
 	// Timeout bounds wall-clock execution of one statement; it composes
 	// with (never extends) any deadline on the caller's context.
 	Timeout time.Duration
+	// Parallelism lets the evaluators partition large products, joins,
+	// and selections across up to this many workers sharing the
+	// statement's budget. 0 and 1 both mean serial execution; results
+	// and budget failures are identical either way.
+	Parallelism int
 }
 
 // DefaultLimits is the budget sessions start with: generous enough for
@@ -67,6 +72,7 @@ func DefaultLimits() Limits {
 		MaxIntermediateRows: g.MaxIntermediateRows,
 		MaxResultRows:       g.MaxResultRows,
 		Timeout:             g.Timeout,
+		Parallelism:         g.Parallelism,
 	}
 }
 
@@ -78,6 +84,7 @@ func (l Limits) internal() guard.Limits {
 		MaxIntermediateRows: l.MaxIntermediateRows,
 		MaxResultRows:       l.MaxResultRows,
 		Timeout:             l.Timeout,
+		Parallelism:         l.Parallelism,
 	}
 }
 

@@ -36,6 +36,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		os.Exit(runBench(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 

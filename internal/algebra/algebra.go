@@ -265,8 +265,13 @@ func EvalNaiveGuarded(n Node, src Source, g *guard.Guard) (*relation.Relation, e
 	}
 }
 
-// guardedProduct is relation.Product with per-output-row accounting.
+// guardedProduct is relation.Product with per-output-row accounting,
+// fanned out across the guard's Parallelism when the output is large
+// enough to pay for the workers.
 func guardedProduct(l, r *relation.Relation, g *guard.Guard) (*relation.Relation, error) {
+	if par := g.Parallelism(); par > 1 && l.Len() > 1 && l.Len()*r.Len() >= parallelMinWork {
+		return parallelProduct(l, r, g, par)
+	}
 	if g == nil {
 		return l.Product(r), nil
 	}
@@ -286,8 +291,12 @@ func guardedProduct(l, r *relation.Relation, g *guard.Guard) (*relation.Relation
 }
 
 // guardedSelect is relation.Select with per-input-row accounting (the
-// scan over the input is the work being bounded).
+// scan over the input is the work being bounded), fanned out across the
+// guard's Parallelism on large inputs.
 func guardedSelect(in *relation.Relation, pred func(relation.Tuple) bool, g *guard.Guard) (*relation.Relation, error) {
+	if par := g.Parallelism(); par > 1 && in.Len() >= parallelMinRows {
+		return parallelSelect(in, pred, g, par)
+	}
 	if g == nil {
 		return in.Select(pred), nil
 	}

@@ -1,0 +1,244 @@
+package algebra
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"authdb/internal/guard"
+	"authdb/internal/relation"
+	"authdb/internal/value"
+)
+
+// The differential harness: randomized databases and PSJ plans, each
+// evaluated four ways — naive and optimized, serial and parallel — with
+// every pair of results cross-checked. Within one evaluator family the
+// parallel result must be tuple-for-tuple identical to the serial one
+// (the workers own contiguous partitions merged in order), and under a
+// tight budget the two must fail or succeed together. Across families
+// only set equality holds (the evaluators materialize different
+// intermediates by design, so their budget trip points differ).
+
+// diffCase is one randomized database plus a plan over it.
+type diffCase struct {
+	rels map[string]*relation.Relation
+	plan *PSJ
+}
+
+const diffDomain = 8
+
+// genRel builds a relation with a sequential key attribute and random
+// payloads, so row counts are exact and joins hit.
+func genRel(rng *rand.Rand, name string, arity, rows int) *relation.Relation {
+	attrs := make([]string, arity)
+	for j := range attrs {
+		attrs[j] = fmt.Sprintf("A%d", j)
+	}
+	r := relation.New(attrs)
+	for i := 0; i < rows; i++ {
+		t := make(relation.Tuple, arity)
+		t[0] = value.Int(int64(i))
+		for j := 1; j < arity; j++ {
+			t[j] = value.Int(int64(rng.Intn(diffDomain)))
+		}
+		r.MustInsert(t...)
+	}
+	return r
+}
+
+var diffOps = []value.Cmp{value.EQ, value.LT, value.LE, value.GT, value.GE}
+
+// genCase builds a random plan: 1–3 scans (relations may repeat, so
+// self-products occur), equality atoms between adjacent scans, constant
+// atoms, and a random projection.
+func genCase(rng *rand.Rand, bigRows int) diffCase {
+	nRels := 2 + rng.Intn(2)
+	rels := make(map[string]*relation.Relation, nRels)
+	names := make([]string, nRels)
+	rowCounts := make([]int, nRels)
+	for i := 0; i < nRels; i++ {
+		names[i] = fmt.Sprintf("R%d", i)
+		arity := 2 + rng.Intn(3)
+		rows := 4 + rng.Intn(16)
+		if bigRows > 0 && i == 0 {
+			arity = 3
+			rows = bigRows
+		}
+		rels[names[i]] = genRel(rng, names[i], arity, rows)
+		rowCounts[i] = rows
+	}
+	nScans := 1 + rng.Intn(3)
+	if bigRows > 0 {
+		nScans = 2
+	}
+	p := &PSJ{}
+	var attrs []string
+	scanRel := make([]int, nScans)
+	for s := 0; s < nScans; s++ {
+		ri := rng.Intn(nRels)
+		if bigRows > 0 {
+			// Exactly one scan of the big relation; the rest stay small.
+			if s == 0 {
+				ri = 0
+			} else {
+				ri = 1 + rng.Intn(nRels-1)
+			}
+		}
+		scanRel[s] = ri
+		alias := fmt.Sprintf("T%d", s)
+		p.Scans = append(p.Scans, Scan{Rel: names[ri], Alias: alias})
+		attrs = append(attrs, relation.QualifyAttrs(alias, rels[names[ri]].Attrs)...)
+	}
+	qual := func(s int, a int) string {
+		return fmt.Sprintf("T%d.A%d", s, a)
+	}
+	arityOf := func(s int) int { return rels[names[scanRel[s]]].Arity() }
+	for s := 1; s < nScans; s++ {
+		if rng.Float64() < 0.7 {
+			p.Preds = append(p.Preds, Atom{
+				L:  qual(s-1, rng.Intn(arityOf(s-1))),
+				Op: value.EQ,
+				R:  AttrOp(qual(s, rng.Intn(arityOf(s)))),
+			})
+		}
+	}
+	for k := rng.Intn(4); k > 0; k-- {
+		s := rng.Intn(nScans)
+		a := rng.Intn(arityOf(s))
+		dom := diffDomain
+		if a == 0 {
+			dom = rowCounts[scanRel[s]]
+		}
+		p.Preds = append(p.Preds, Atom{
+			L:  qual(s, a),
+			Op: diffOps[rng.Intn(len(diffOps))],
+			R:  ConstOp(value.Int(int64(rng.Intn(dom)))),
+		})
+	}
+	perm := rng.Perm(len(attrs))
+	nCols := 1 + rng.Intn(len(attrs))
+	for _, i := range perm[:nCols] {
+		p.Cols = append(p.Cols, attrs[i])
+	}
+	return diffCase{rels: rels, plan: p}
+}
+
+// evalWays runs the plan with the given limits through one family.
+func evalWays(c diffCase, optimized bool, limits guard.Limits) (*relation.Relation, error) {
+	g := guard.New(context.Background(), limits)
+	defer g.Close()
+	src := MapSource(c.rels)
+	if optimized {
+		return EvalOptimizedGuarded(c.plan, src, g)
+	}
+	return EvalNaiveGuarded(c.plan.Node(), src, g)
+}
+
+// sameRelation asserts tuple-for-tuple identity (attributes, order,
+// values), the determinism contract of the parallel evaluators.
+func sameRelation(t *testing.T, label string, a, b *relation.Relation) {
+	t.Helper()
+	if len(a.Attrs) != len(b.Attrs) {
+		t.Fatalf("%s: attrs differ: %v vs %v", label, a.Attrs, b.Attrs)
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			t.Fatalf("%s: attrs differ: %v vs %v", label, a.Attrs, b.Attrs)
+		}
+	}
+	at, bt := a.Tuples(), b.Tuples()
+	if len(at) != len(bt) {
+		t.Fatalf("%s: cardinality differs: %d vs %d", label, len(at), len(bt))
+	}
+	for i := range at {
+		if !at[i].Equal(bt[i]) {
+			t.Fatalf("%s: tuple %d differs: %v vs %v", label, i, at[i], bt[i])
+		}
+	}
+}
+
+// checkCase cross-checks the four evaluations of one case and, when
+// budgets is non-empty, the serial/parallel budget parity per family.
+func checkCase(t *testing.T, c diffCase, budgets []int64) {
+	t.Helper()
+	serial := guard.Limits{Parallelism: 1}
+	par := guard.Limits{Parallelism: 8}
+
+	sn, err := evalWays(c, false, serial)
+	if err != nil {
+		t.Fatalf("naive serial: %v (plan %s)", err, c.plan)
+	}
+	pn, err := evalWays(c, false, par)
+	if err != nil {
+		t.Fatalf("naive parallel: %v (plan %s)", err, c.plan)
+	}
+	so, err := evalWays(c, true, serial)
+	if err != nil {
+		t.Fatalf("optimized serial: %v (plan %s)", err, c.plan)
+	}
+	po, err := evalWays(c, true, par)
+	if err != nil {
+		t.Fatalf("optimized parallel: %v (plan %s)", err, c.plan)
+	}
+	sameRelation(t, "naive serial vs parallel", sn, pn)
+	sameRelation(t, "optimized serial vs parallel", so, po)
+	if !sn.Equal(so) {
+		t.Fatalf("naive and optimized disagree on plan %s:\nnaive %d tuples, optimized %d tuples",
+			c.plan, sn.Len(), so.Len())
+	}
+
+	for _, b := range budgets {
+		for _, optimized := range []bool{false, true} {
+			family := "naive"
+			if optimized {
+				family = "optimized"
+			}
+			rs, errS := evalWays(c, optimized, guard.Limits{MaxIntermediateRows: b, Parallelism: 1})
+			rp, errP := evalWays(c, optimized, guard.Limits{MaxIntermediateRows: b, Parallelism: 8})
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("%s budget %d: serial err %v, parallel err %v (plan %s)",
+					family, b, errS, errP, c.plan)
+			}
+			if errS != nil {
+				if !errors.Is(errS, guard.ErrBudgetExceeded) || !errors.Is(errP, guard.ErrBudgetExceeded) {
+					t.Fatalf("%s budget %d: unexpected errors %v / %v", family, b, errS, errP)
+				}
+				continue
+			}
+			sameRelation(t, family+" under budget", rs, rp)
+		}
+	}
+}
+
+// TestDifferentialRandomized runs 1000 randomized small cases through
+// all four evaluation modes, with budget parity probed on every tenth.
+func TestDifferentialRandomized(t *testing.T) {
+	const cases = 1000
+	for i := 0; i < cases; i++ {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		c := genCase(rng, 0)
+		var budgets []int64
+		if i%10 == 0 {
+			budgets = []int64{37, 500}
+		}
+		checkCase(t, c, budgets)
+	}
+}
+
+// TestDifferentialLargeParallel runs cases big enough to cross the
+// parallel fan-out thresholds (product, selection, and hash-join probe),
+// so the chunked code paths — not just their serial fallbacks — are the
+// ones being cross-checked, budgets included.
+func TestDifferentialLargeParallel(t *testing.T) {
+	cases := 24
+	if testing.Short() {
+		cases = 6
+	}
+	for i := 0; i < cases; i++ {
+		rng := rand.New(rand.NewSource(int64(9000 + i)))
+		c := genCase(rng, 1200+rng.Intn(600))
+		checkCase(t, c, []int64{1000, 20000})
+	}
+}

@@ -297,6 +297,11 @@ func hashJoin(l, r *relation.Relation, eqs []Atom, g *guard.Guard) (*relation.Re
 		k := key(t, ri)
 		build[k] = append(build[k], t)
 	}
+	// The probe side fans out across the guard's Parallelism; the built
+	// hash table is read-only from here on.
+	if par := g.Parallelism(); par > 1 && l.Len() >= parallelMinRows {
+		return parallelProbe(l, r, li, build, key, g, par)
+	}
 	out := relation.New(append(append([]string(nil), l.Attrs...), r.Attrs...))
 	for _, t := range l.Tuples() {
 		if err := g.Check(); err != nil {

@@ -51,6 +51,36 @@ type Decision struct {
 	Inst *Instance
 }
 
+// MaskPlan is the meta-side half of a Decision: everything the
+// authorization process derives from the user's definitions (permitted
+// views and their meta-tuples) and the query alone — never from the
+// relation instances. It is therefore cacheable per (user, query) and
+// shareable across concurrent read sessions: every application path
+// (Apply, ApplyExtended, Permits, the grant/deny flags) treats the mask
+// as read-only.
+type MaskPlan struct {
+	// Mask is the compiled meta-answer A'.
+	Mask *Mask
+	// Views lists the permitted views that participated.
+	Views []string
+	// Inst is the per-request view instantiation.
+	Inst *Instance
+	// Permits describes the delivered portions when the outcome is
+	// partial; empty on full grant or full denial.
+	Permits []PermitStatement
+	// FullyAuthorized and Denied classify the mask.
+	FullyAuthorized bool
+	Denied          bool
+	// WidePSJ and OutIdx are set under Options.ExtendedMasks: the plan
+	// without its final projection, and the positions of the requested
+	// columns within the wide answer.
+	WidePSJ *algebra.PSJ
+	OutIdx  []int
+	// Intermediates holds the per-phase meta-relations when
+	// Options.CollectIntermediates is set (such plans bypass the cache).
+	Intermediates []Snapshot
+}
+
 // Authorizer binds a database scheme, its relation instances, and an
 // authorization store; it implements the commutative diagram of Figure 2:
 // the query runs on the relations to yield A and, mirrored operator by
@@ -63,6 +93,10 @@ type Authorizer struct {
 	// the meta-side operators with a cancellation-and-budget check at
 	// tuple-batch granularity.
 	Guard *guard.Guard
+	// Cache, when non-nil, memoizes the meta-side MaskPlan per
+	// (user, query), validated against the store's definition
+	// generations. Plans that collect intermediates bypass it.
+	Cache *MaskCache
 }
 
 // NewAuthorizer builds an authorizer with the given options.
@@ -80,42 +114,64 @@ func (a *Authorizer) Retrieve(user string, def *cview.Def) (*Decision, error) {
 }
 
 // RetrievePlan runs the dual pipelines for an already-compiled plan.
+// The meta side is obtained as a MaskPlan — from the cache when one is
+// attached and holds a plan stamped with the store's current definition
+// generations, recomputed by maskPlanFor otherwise — and the actual side
+// is then evaluated and masked by it.
 func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, error) {
 	if len(psj.Scans) == 0 {
 		return nil, fmt.Errorf("query scans no relations")
 	}
-	d := &Decision{PSJ: psj}
+	cache := a.Cache
+	if cache != nil && a.Opt.CollectIntermediates {
+		// Explain wants the per-phase snapshots, which a hit would skip.
+		cache = nil
+	}
+	var mp *MaskPlan
+	if cache != nil {
+		mp = cache.Get(a.Store, user, psj, a.Opt)
+	}
+	if mp == nil {
+		var err error
+		mp, err = a.maskPlanFor(user, psj)
+		if err != nil {
+			return nil, err
+		}
+		if cache != nil {
+			cache.Put(a.Store, user, psj, a.Opt, mp)
+		}
+	}
+
+	d := &Decision{
+		PSJ:             psj,
+		Mask:            mp.Mask,
+		Views:           mp.Views,
+		Inst:            mp.Inst,
+		Permits:         mp.Permits,
+		FullyAuthorized: mp.FullyAuthorized,
+		Denied:          mp.Denied,
+		Intermediates:   mp.Intermediates,
+	}
 
 	// Actual side. The §6(3) extension masks the wide (pre-projection)
 	// answer, so it executes the query without the final projection and
 	// derives the requested columns from it.
 	var err error
-	var wideAns *relation.Relation
-	var outIdx []int
 	if a.Opt.ExtendedMasks {
-		wideAttrs, aerr := psj.Attrs(a.Store.Schema())
-		if aerr != nil {
-			return nil, aerr
-		}
-		widePSJ := &algebra.PSJ{Scans: psj.Scans, Preds: psj.Preds, Cols: wideAttrs}
+		var wideAns *relation.Relation
 		if a.Opt.OptimizedExec {
-			wideAns, err = algebra.EvalOptimizedGuarded(widePSJ, a.Source, a.Guard)
+			wideAns, err = algebra.EvalOptimizedGuarded(mp.WidePSJ, a.Source, a.Guard)
 		} else {
-			wideAns, err = algebra.EvalNaiveGuarded(widePSJ.Node(), a.Source, a.Guard)
+			wideAns, err = algebra.EvalNaiveGuarded(mp.WidePSJ.Node(), a.Source, a.Guard)
 		}
 		if err != nil {
 			return nil, err
 		}
-		outIdx = make([]int, len(psj.Cols))
-		for i, c := range psj.Cols {
-			j := wideAns.AttrIndex(c)
-			if j < 0 {
-				return nil, fmt.Errorf("unknown output attribute %s", c)
-			}
-			outIdx[i] = j
-		}
-		d.Answer = wideAns.Project(outIdx)
-	} else if a.Opt.OptimizedExec {
+		d.Answer = wideAns.Project(mp.OutIdx)
+		d.Masked, d.Stats = mp.Mask.ApplyExtended(wideAns, mp.OutIdx, psj.Cols)
+		return d, nil
+	}
+	if a.Opt.OptimizedExec {
 		d.Answer, err = algebra.EvalOptimizedGuarded(psj, a.Source, a.Guard)
 	} else {
 		d.Answer, err = algebra.EvalNaiveGuarded(psj.Node(), a.Source, a.Guard)
@@ -123,23 +179,50 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 	if err != nil {
 		return nil, err
 	}
+	d.Masked, d.Stats = mp.Mask.Apply(d.Answer)
+	return d, nil
+}
 
-	// Meta side: instantiate the user's permitted views against the
-	// relations the query scans.
+// maskPlanFor runs the meta-side pipeline alone: instantiate the user's
+// permitted views, mirror the query's products, selections, and (unless
+// extended) projection over the meta-relations, and compile the result
+// into a mask plus its derived outcome flags and permit statements.
+func (a *Authorizer) maskPlanFor(user string, psj *algebra.PSJ) (*MaskPlan, error) {
+	mp := &MaskPlan{}
+	if a.Opt.ExtendedMasks {
+		wideAttrs, err := psj.Attrs(a.Store.Schema())
+		if err != nil {
+			return nil, err
+		}
+		mp.WidePSJ = &algebra.PSJ{Scans: psj.Scans, Preds: psj.Preds, Cols: wideAttrs}
+		wide := relation.New(wideAttrs)
+		mp.OutIdx = make([]int, len(psj.Cols))
+		for i, c := range psj.Cols {
+			j := wide.AttrIndex(c)
+			if j < 0 {
+				return nil, fmt.Errorf("unknown output attribute %s", c)
+			}
+			mp.OutIdx[i] = j
+		}
+	}
+
+	// Instantiate the user's permitted views against the relations the
+	// query scans.
 	scanCount := make(map[string]int)
 	for _, s := range psj.Scans {
 		scanCount[s.Rel]++
 	}
 	inst := a.Store.Instantiate(user, scanCount, a.Opt)
-	d.Views = inst.Views()
-	d.Inst = inst
+	mp.Views = inst.Views()
+	mp.Inst = inst
 
 	snap := func(phase string, mr *MetaRel) {
 		if a.Opt.CollectIntermediates {
-			d.Intermediates = append(d.Intermediates, Snapshot{Phase: phase, Meta: mr.clone()})
+			mp.Intermediates = append(mp.Intermediates, Snapshot{Phase: phase, Meta: mr.clone()})
 		}
 	}
 
+	var err error
 	mr := inst.MetaRelFor(psj.Scans[0].Rel, psj.Scans[0].Alias)
 	snap("scan "+psj.Scans[0].Alias, mr)
 	for _, s := range psj.Scans[1:] {
@@ -178,21 +261,20 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 	}
 	if a.Opt.ExtendedMasks {
 		// §6(3): skip the meta projection so residual conditions on
-		// unrequested attributes survive, and mask the wide answer.
+		// unrequested attributes survive; the wide answer gets masked.
 		mr.PruneDangling(inst)
 		mr.DedupeLoose()
 		snap("extended mask", mr)
-		d.Mask = NewMask(mr, inst)
+		mp.Mask = NewMask(mr, inst)
 		if a.Opt.Subsume {
-			d.Mask.Subsume()
+			mp.Mask.Subsume()
 		}
-		d.Masked, d.Stats = d.Mask.ApplyExtended(wideAns, outIdx, psj.Cols)
-		d.FullyAuthorized = fullGrantExtended(d.Mask, outIdx)
-		d.Denied = !revealsAnything(d.Mask, outIdx)
-		if !d.FullyAuthorized && !d.Denied {
-			d.Permits = d.Mask.ExtendedPermits(outIdx)
+		mp.FullyAuthorized = fullGrantExtended(mp.Mask, mp.OutIdx)
+		mp.Denied = !revealsAnything(mp.Mask, mp.OutIdx)
+		if !mp.FullyAuthorized && !mp.Denied {
+			mp.Permits = mp.Mask.ExtendedPermits(mp.OutIdx)
 		}
-		return d, nil
+		return mp, nil
 	}
 
 	mr, err = MetaProject(mr, psj.Cols)
@@ -207,17 +289,16 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 	mr.PruneDangling(inst)
 	mr.DedupeLoose()
 
-	d.Mask = NewMask(mr, inst)
+	mp.Mask = NewMask(mr, inst)
 	if a.Opt.Subsume {
-		d.Mask.Subsume()
+		mp.Mask.Subsume()
 	}
-	d.Masked, d.Stats = d.Mask.Apply(d.Answer)
-	d.FullyAuthorized = a.fullGrant(d.Mask)
-	d.Denied = len(d.Mask.Tuples) == 0
-	if !d.FullyAuthorized && !d.Denied {
-		d.Permits = d.Mask.Permits()
+	mp.FullyAuthorized = a.fullGrant(mp.Mask)
+	mp.Denied = len(mp.Mask.Tuples) == 0
+	if !mp.FullyAuthorized && !mp.Denied {
+		mp.Permits = mp.Mask.Permits()
 	}
-	return d, nil
+	return mp, nil
 }
 
 // selection is one meta-side selection step: either an attribute-constant

@@ -74,16 +74,33 @@ type Store struct {
 	order    []string
 	perms    map[string][]string // user -> view names in grant order
 	varCount int
+	// viewGen counts view-set mutations (define, drop) and permGen
+	// per-user permit mutations (permit, revoke). Masks derive from
+	// nothing else — never from relation instances — so a MaskCache
+	// entry stamped with both generations stays valid exactly as long
+	// as the mask it holds. The store itself is not synchronized (the
+	// engine's lock serializes mutations), so these are plain counters.
+	viewGen uint64
+	permGen map[string]uint64
 }
 
 // NewStore creates an empty authorization store over a database scheme.
 func NewStore(sch *relation.DBSchema) *Store {
 	return &Store{
-		sch:   sch,
-		views: make(map[string]*viewEntry),
-		perms: make(map[string][]string),
+		sch:     sch,
+		views:   make(map[string]*viewEntry),
+		perms:   make(map[string][]string),
+		permGen: make(map[string]uint64),
 	}
 }
+
+// ViewGen returns the view-set mutation generation; it advances on every
+// DefineView and DropView.
+func (s *Store) ViewGen() uint64 { return s.viewGen }
+
+// PermGen returns user's permit mutation generation; it advances on
+// every Permit and Revoke affecting that user.
+func (s *Store) PermGen(user string) uint64 { return s.permGen[user] }
 
 // Schema returns the database scheme the store is defined over.
 func (s *Store) Schema() *relation.DBSchema { return s.sch }
@@ -158,6 +175,7 @@ func (s *Store) DefineView(def *cview.Def) error {
 	}
 	s.views[def.Name] = entry
 	s.order = append(s.order, def.Name)
+	s.viewGen++
 	return nil
 }
 
@@ -186,6 +204,7 @@ func (s *Store) DropView(name string) bool {
 			s.perms[u] = kept
 		}
 	}
+	s.viewGen++
 	return true
 }
 
@@ -200,6 +219,7 @@ func (s *Store) Permit(view, user string) error {
 		}
 	}
 	s.perms[user] = append(s.perms[user], view)
+	s.permGen[user]++
 	return nil
 }
 
@@ -212,6 +232,7 @@ func (s *Store) Revoke(view, user string) bool {
 			if len(s.perms[user]) == 0 {
 				delete(s.perms, user)
 			}
+			s.permGen[user]++
 			return true
 		}
 	}

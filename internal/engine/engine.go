@@ -35,6 +35,10 @@ type Engine struct {
 	rels  map[string]*relation.Relation
 	store *core.Store
 	opt   core.Options
+	// masks caches compiled meta-side plans per (user, query); entries
+	// are invalidated by view and permit changes via the store's
+	// generation counters, never by data changes.
+	masks *core.MaskCache
 	// dur is the crash-safe persistence attachment (nil for in-memory
 	// engines); see durable.go.
 	dur *durable
@@ -48,6 +52,27 @@ func New(opt core.Options) *Engine {
 		rels:  make(map[string]*relation.Relation),
 		store: core.NewStore(sch),
 		opt:   opt,
+		masks: core.NewMaskCache(0),
+	}
+}
+
+// MaskCacheStats reports the mask cache's hit and miss counts and size.
+func (e *Engine) MaskCacheStats() (hits, misses uint64, size int) {
+	return e.masks.Stats()
+}
+
+// SetMaskCacheEnabled enables or disables the per-user mask cache; the
+// benchmark harness disables it to measure the recompute-every-time
+// baseline. Disabling discards the current cache contents.
+func (e *Engine) SetMaskCacheEnabled(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if on {
+		if e.masks == nil {
+			e.masks = core.NewMaskCache(0)
+		}
+	} else {
+		e.masks = nil
 	}
 }
 
@@ -344,6 +369,7 @@ func (s *Session) RetrieveContext(ctx context.Context, def *cview.Def) (*Result,
 	}
 	auth := core.NewAuthorizer(s.eng.store, s.eng.source, s.eng.opt)
 	auth.Guard = g
+	auth.Cache = s.eng.masks
 	d, err := auth.Retrieve(s.user, def)
 	if err != nil {
 		return nil, err

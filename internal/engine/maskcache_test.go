@@ -1,0 +1,231 @@
+package engine_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"authdb/internal/engine"
+	"authdb/internal/workload"
+)
+
+// renderResult serializes a retrieve's delivered relation (in canonical
+// order) and permit statements, for byte-identical comparisons between
+// cached and freshly computed answers.
+func renderResult(res *engine.Result) string {
+	var b strings.Builder
+	for _, t := range res.Relation.Sorted() {
+		for _, v := range t {
+			b.WriteString(v.String())
+			b.WriteByte('|')
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range res.Permits {
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestMaskCacheHitIsByteIdentical(t *testing.T) {
+	e := paperEngine(t)
+	s := e.NewSession("Brown", false)
+	first, err := s.Exec(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore, missesBefore, _ := e.MaskCacheStats()
+	if missesBefore == 0 {
+		t.Fatal("first retrieve should have missed the mask cache")
+	}
+	second, err := s.Exec(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := e.MaskCacheStats()
+	if hits != hitsBefore+1 || misses != missesBefore {
+		t.Fatalf("second retrieve: hits %d→%d, misses %d→%d; want a pure hit",
+			hitsBefore, hits, missesBefore, misses)
+	}
+	if renderResult(first) != renderResult(second) {
+		t.Fatalf("cached answer differs:\nfirst:\n%s\nsecond:\n%s",
+			renderResult(first), renderResult(second))
+	}
+	if first.Decision.Mask != second.Decision.Mask {
+		// The plan (and with it the mask) should be the same shared
+		// object, not a recomputation that happened to agree.
+		t.Fatal("second retrieve did not reuse the cached mask")
+	}
+}
+
+func TestMaskCacheRevokeAndPermitInvalidate(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+	brown := e.NewSession("Brown", false)
+
+	before, err := brown.Exec(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Decision.Denied {
+		t.Fatal("Brown's Example 1 should deliver rows while PSA is permitted")
+	}
+	if _, err := brown.Exec(workload.Example1Query); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+
+	if _, err := admin.Exec(`revoke PSA from Brown`); err != nil {
+		t.Fatal(err)
+	}
+	after, err := brown.Exec(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Decision.Denied {
+		t.Fatalf("stale mask served after revoke: delivered %d rows", after.Relation.Len())
+	}
+
+	if _, err := admin.Exec(`permit PSA to Brown`); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := brown.Exec(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderResult(restored) != renderResult(before) {
+		t.Fatalf("after re-permit, answer differs from original:\nbefore:\n%s\nafter:\n%s",
+			renderResult(before), renderResult(restored))
+	}
+}
+
+func TestMaskCacheViewRedefinitionInvalidates(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+	brown := e.NewSession("Brown", false)
+
+	before, err := brown.Exec(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Relation.Len() == 0 {
+		t.Fatal("expected delivered rows before redefinition")
+	}
+	// Redefine PSA to cover a sponsor with no projects: the old cached
+	// mask would keep delivering Acme's projects.
+	if _, err := admin.Exec(`drop view PSA`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Exec(`view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+		where PROJECT.SPONSOR = Nobody`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Exec(`permit PSA to Brown`); err != nil {
+		t.Fatal(err)
+	}
+	after, err := brown.Exec(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new mask admits only SPONSOR = Nobody rows, of which there are
+	// none; a stale mask would keep delivering Acme's projects.
+	if after.Relation.Len() != 0 {
+		t.Fatalf("stale mask survived view redefinition: delivered %d rows:\n%s",
+			after.Relation.Len(), renderResult(after))
+	}
+}
+
+func TestMaskCacheSurvivesDataChanges(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+	brown := e.NewSession("Brown", false)
+
+	if _, err := brown.Exec(workload.Example1Query); err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0, _ := e.MaskCacheStats()
+
+	// Data mutations must not invalidate: the mask derives from
+	// definitions only.
+	if _, err := admin.Exec(`insert into PROJECT values (zz-99, Acme, 990000)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := brown.Exec(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1, _ := e.MaskCacheStats()
+	if misses1 != misses0 || hits1 != hits0+1 {
+		t.Fatalf("insert invalidated the cache: hits %d→%d, misses %d→%d",
+			hits0, hits1, misses0, misses1)
+	}
+	// The cached mask still applies to the fresh data: the new Acme
+	// project is within PSA and must be delivered.
+	if !strings.Contains(renderResult(res), "zz-99") {
+		t.Fatalf("new permitted row missing from cached-mask answer:\n%s", renderResult(res))
+	}
+
+	if _, err := admin.Exec(`delete from PROJECT where PROJECT.NUMBER = zz-99`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = brown.Exec(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2, _ := e.MaskCacheStats()
+	if misses2 != misses1 || hits2 != hits1+1 {
+		t.Fatalf("delete invalidated the cache: hits %d→%d, misses %d→%d",
+			hits1, hits2, misses1, misses2)
+	}
+	if strings.Contains(renderResult(res), "zz-99") {
+		t.Fatal("deleted row still delivered")
+	}
+}
+
+// TestMaskCacheNoStaleMaskUnderConcurrency hammers one query from many
+// reader goroutines while the admin revokes the grant, then verifies the
+// very next read is denied — the revoke must invalidate the cached mask
+// no matter how hot it is. Run with -race.
+func TestMaskCacheNoStaleMaskUnderConcurrency(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+
+	const readers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.NewSession("Brown", false)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Exec(workload.Example1Query); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := admin.Exec(`revoke PSA from Brown`); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.NewSession("Brown", false).Exec(workload.Example1Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Decision.Denied {
+			t.Fatalf("iteration %d: stale mask after revoke delivered %d rows", i, res.Relation.Len())
+		}
+		if _, err := admin.Exec(`permit PSA to Brown`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,102 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"authdb/internal/workload"
+)
+
+// TestConcurrentReadersWithPermitChurn runs reader sessions over the
+// paper's three worked examples while an administrator keeps revoking
+// and re-granting the permit each example depends on. Every answer a
+// reader sees must be byte-identical to one of the two legal outcomes
+// (permit held / permit revoked) precomputed sequentially — anything
+// else is a torn mask, a stale cache entry, or a withheld cell leaking
+// through. Run with -race.
+func TestConcurrentReadersWithPermitChurn(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+
+	// Each case depends on exactly one toggled (view, user) permit; the
+	// other permits in the fixture stay fixed throughout.
+	cases := []struct {
+		user, query, view string
+		legal             map[string]string // outcome name -> rendering
+	}{
+		{user: "Brown", query: workload.Example1Query, view: "PSA"},
+		{user: "Klein", query: workload.Example2Query, view: "ELP"},
+		{user: "Brown", query: workload.Example3Query, view: "EST"},
+	}
+	for i := range cases {
+		c := &cases[i]
+		c.legal = make(map[string]string)
+		s := e.NewSession(c.user, false)
+		res, err := s.Exec(c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.legal["granted"] = renderResult(res)
+		if _, err := admin.Exec(fmt.Sprintf("revoke %s from %s", c.view, c.user)); err != nil {
+			t.Fatal(err)
+		}
+		res, err = s.Exec(c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.legal["revoked"] = renderResult(res)
+		if _, err := admin.Exec(fmt.Sprintf("permit %s to %s", c.view, c.user)); err != nil {
+			t.Fatal(err)
+		}
+		if c.legal["granted"] == c.legal["revoked"] {
+			t.Fatalf("case %d: toggling %s does not change the outcome; the stress proves nothing", i, c.view)
+		}
+	}
+
+	const readers = 9
+	toggles := 40
+	if testing.Short() {
+		toggles = 10
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		c := cases[r%len(cases)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.NewSession(c.user, false)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Exec(c.query)
+				if err != nil {
+					t.Errorf("reader %s: %v", c.user, err)
+					return
+				}
+				got := renderResult(res)
+				if got != c.legal["granted"] && got != c.legal["revoked"] {
+					t.Errorf("reader %s saw an illegal answer:\n%s\nlegal granted:\n%s\nlegal revoked:\n%s",
+						c.user, got, c.legal["granted"], c.legal["revoked"])
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < toggles; i++ {
+		for _, c := range cases {
+			if _, err := admin.Exec(fmt.Sprintf("revoke %s from %s", c.view, c.user)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := admin.Exec(fmt.Sprintf("permit %s to %s", c.view, c.user)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

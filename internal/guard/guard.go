@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -38,6 +39,15 @@ type Limits struct {
 	// Timeout bounds wall-clock execution of one statement; it composes
 	// with (never extends) any deadline already on the caller's context.
 	Timeout time.Duration
+	// Parallelism is the maximum number of worker goroutines one
+	// evaluator operator (product, hash join, selection) may fan out
+	// across. 0 and 1 both mean serial execution; values above 1 let the
+	// guarded evaluators partition their outer side across that many
+	// workers, all sharing this budget. Results are identical to serial
+	// execution (workers own contiguous partitions merged in order), and
+	// budget failures fire iff they would fire serially: the row totals
+	// accounted are the same either way.
+	Parallelism int
 }
 
 // DefaultLimits is the budget sessions start with: generous enough for
@@ -48,6 +58,7 @@ func DefaultLimits() Limits {
 		MaxIntermediateRows: 1_000_000,
 		MaxResultRows:       500_000,
 		Timeout:             30 * time.Second,
+		Parallelism:         runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -58,16 +69,19 @@ func Unlimited() Limits { return Limits{} }
 // cancellation is therefore honored within one batch of tuples.
 const batchSize = 1024
 
-// Guard enforces a Limits budget under a context. Guards are safe for
-// use by a single statement execution (they are not shared across
-// statements); the produced-row counter is atomic only so that future
-// parallel operators can share one guard.
+// Guard enforces a Limits budget under a context. A guard belongs to a
+// single statement execution (it is not shared across statements), but
+// within that statement it is safe for concurrent use: the parallel
+// evaluators hand one guard to every worker goroutine, and both the
+// produced-row counter and the batch check counter are atomic, so the
+// budget trigger point depends only on the total rows accounted — not
+// on which worker accounted them.
 type Guard struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	limits   Limits
 	produced atomic.Int64
-	sinceCk  int64
+	sinceCk  atomic.Int64
 }
 
 // New builds a guard for one statement execution. Close must be called
@@ -131,12 +145,23 @@ func (g *Guard) Add(n int) error {
 	if max := g.limits.MaxIntermediateRows; max > 0 && total > max {
 		return fmt.Errorf("%w: intermediate rows %d exceed limit %d", ErrBudgetExceeded, total, max)
 	}
-	g.sinceCk += int64(n)
-	if g.sinceCk >= batchSize {
-		g.sinceCk = 0
+	// Subtracting the batch (rather than storing zero) keeps the counter
+	// exact under concurrent adds: rows accounted by another worker
+	// between our Add and the reset are not dropped.
+	if g.sinceCk.Add(int64(n)) >= batchSize {
+		g.sinceCk.Add(-batchSize)
 		return g.ctxErr()
 	}
 	return nil
+}
+
+// Parallelism returns the evaluator fan-out the guard's limits allow; a
+// nil guard (and a zero knob) means serial.
+func (g *Guard) Parallelism() int {
+	if g == nil || g.limits.Parallelism < 1 {
+		return 1
+	}
+	return g.limits.Parallelism
 }
 
 // Produced reports the intermediate rows accounted so far.

@@ -57,11 +57,19 @@ func (t Tuple) key() string {
 // (possibly qualified) attribute names. Base relations use bare attribute
 // names; intermediate and answer relations use qualified names such as
 // "EMPLOYEE:1.NAME".
+//
+// The membership index (backing Insert's duplicate check and Contains) is
+// maintained eagerly by Insert but invalidated by Append; the first
+// subsequent operation that needs it rebuilds it. Rebuilding mutates the
+// relation, so a relation that may have a stale index must not be shared
+// across goroutines; relations populated purely by Insert always have a
+// current index and are safe for concurrent reads.
 type Relation struct {
 	Attrs  []string
 	tuples []Tuple
-	index  map[string]bool
-	idx    *indexCache
+	// index holds the membership set; nil means stale (rebuild before use).
+	index map[string]bool
+	idx   *indexCache
 }
 
 // New creates an empty relation over the given attributes.
@@ -107,12 +115,25 @@ func (r *Relation) AttrIndex(a string) int {
 	return found
 }
 
+// ensureIndex rebuilds the membership index after Append invalidated it.
+func (r *Relation) ensureIndex() {
+	if r.index != nil {
+		return
+	}
+	idx := make(map[string]bool, len(r.tuples))
+	for _, t := range r.tuples {
+		idx[t.key()] = true
+	}
+	r.index = idx
+}
+
 // Insert adds a tuple under set semantics; it reports whether the tuple was
 // new. The tuple's arity must match the relation's.
 func (r *Relation) Insert(t Tuple) (bool, error) {
 	if len(t) != len(r.Attrs) {
 		return false, fmt.Errorf("arity mismatch: tuple has %d values, relation %d attributes", len(t), len(r.Attrs))
 	}
+	r.ensureIndex()
 	k := t.key()
 	if r.index[k] {
 		return false, nil
@@ -121,6 +142,17 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	r.tuples = append(r.tuples, t.Clone())
 	r.idx.bump()
 	return true, nil
+}
+
+// Append adds a tuple the caller guarantees is not already present —
+// outputs of products, joins, and selections over proper sets are unique
+// by construction — skipping the duplicate check and taking ownership of
+// t (no clone). The membership index goes stale and is rebuilt lazily by
+// the next Insert or Contains. The arity must match.
+func (r *Relation) Append(t Tuple) {
+	r.tuples = append(r.tuples, t)
+	r.index = nil
+	r.idx.bump()
 }
 
 // MustInsert inserts and panics on arity mismatch; for fixtures.
@@ -137,7 +169,9 @@ func (r *Relation) Delete(pred func(Tuple) bool) int {
 	removed := 0
 	for _, t := range r.tuples {
 		if pred(t) {
-			delete(r.index, t.key())
+			if r.index != nil {
+				delete(r.index, t.key())
+			}
 			removed++
 		} else {
 			kept = append(kept, t)
@@ -150,8 +184,12 @@ func (r *Relation) Delete(pred func(Tuple) bool) int {
 	return removed
 }
 
-// Contains reports set membership of the tuple.
-func (r *Relation) Contains(t Tuple) bool { return r.index[t.key()] }
+// Contains reports set membership of the tuple. After an Append, the
+// first call rebuilds the membership index (and therefore mutates r).
+func (r *Relation) Contains(t Tuple) bool {
+	r.ensureIndex()
+	return r.index[t.key()]
+}
 
 // Clone returns a deep copy.
 func (r *Relation) Clone() *Relation {
