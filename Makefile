@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench benchgo
+.PHONY: check build vet test race fuzz bench bench-index benchgo
 
 check: build vet race
 
@@ -23,10 +23,16 @@ race:
 fuzz:
 	$(GO) test ./internal/engine -fuzz FuzzSessionExec -fuzztime 30s
 
-# Reproducible throughput/latency harness for concurrent masked
-# retrieval; writes BENCH_parallel.json (see cmd/authdb/bench.go).
+# Reproducible throughput/latency harnesses: concurrent masked retrieval
+# (BENCH_parallel.json, cmd/authdb/bench.go) and index-accelerated
+# evaluation (BENCH_index.json, cmd/authdb/bench_index.go).
 bench:
 	$(GO) run ./cmd/authdb bench
+	$(GO) run ./cmd/authdb bench-index
+
+# The index/pushdown workloads alone.
+bench-index:
+	$(GO) run ./cmd/authdb bench-index
 
 # Go testing.B micro-benchmarks.
 benchgo:

@@ -105,6 +105,12 @@ type Options struct {
 	// OptimizedExec answers queries with pushdown and hash joins rather
 	// than the naive product–selection–projection order.
 	OptimizedExec bool
+	// MaskPushdown prunes, before materialization, answer rows the
+	// compiled mask provably withholds entirely, by conjoining the
+	// mask-derived necessary delivery condition with the query plan.
+	// The delivered rows, permit statements, and grant/deny outcomes
+	// are unchanged; only wasted intermediate work is avoided.
+	MaskPushdown bool
 	// ExtendedMasks enables the paper's §6(3) extension: masks may be
 	// "expressed with additional attributes", so a view's conditions on
 	// columns the query did not request still admit the permitted rows
@@ -113,9 +119,13 @@ type Options struct {
 	ExtendedMasks bool
 }
 
-// DefaultOptions enables every refinement and the optimized executor.
+// DefaultOptions enables every refinement, the optimized executor, and
+// mask-predicate pushdown.
 func DefaultOptions() Options {
-	return Options{Padding: true, FourCase: true, SelfJoins: true, Subsume: true, OptimizedExec: true}
+	return Options{
+		Padding: true, FourCase: true, SelfJoins: true, Subsume: true,
+		OptimizedExec: true, MaskPushdown: true,
+	}
 }
 
 func (o Options) internal() core.Options {
@@ -125,6 +135,7 @@ func (o Options) internal() core.Options {
 	opt.SelfJoins = o.SelfJoins
 	opt.Subsume = o.Subsume
 	opt.OptimizedExec = o.OptimizedExec
+	opt.MaskPushdown = o.MaskPushdown
 	opt.ExtendedMasks = o.ExtendedMasks
 	return opt
 }

@@ -56,7 +56,20 @@ type benchLevel struct {
 	QPS             float64 `json:"qps"`
 	P50Micros       float64 `json:"p50_us"`
 	P99Micros       float64 `json:"p99_us"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// allocsSince returns the heap allocation count delta per operation
+// across a measurement window. Process-global, so background allocation
+// noise is shared by every configuration being compared.
+func allocsSince(m0 *runtime.MemStats, ops int64) float64 {
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	if ops == 0 {
+		return 0
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / float64(ops)
 }
 
 type benchReport struct {
@@ -216,17 +229,20 @@ func percentile(sorted []time.Duration, p float64) float64 {
 }
 
 func measureLevel(e *engine.Engine, n int, dur time.Duration, cached bool) (benchLevel, error) {
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	ops, lats, err := runLevel(e, n, dur)
 	if err != nil {
 		return benchLevel{}, err
 	}
 	return benchLevel{
-		Sessions:  n,
-		MaskCache: cached,
-		Ops:       ops,
-		QPS:       float64(ops) / dur.Seconds(),
-		P50Micros: percentile(lats, 0.50),
-		P99Micros: percentile(lats, 0.99),
+		Sessions:    n,
+		MaskCache:   cached,
+		Ops:         ops,
+		QPS:         float64(ops) / dur.Seconds(),
+		P50Micros:   percentile(lats, 0.50),
+		P99Micros:   percentile(lats, 0.99),
+		AllocsPerOp: allocsSince(&m0, ops),
 	}, nil
 }
 

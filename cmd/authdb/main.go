@@ -39,6 +39,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(runBench(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench-index" {
+		os.Exit(runBenchIndex(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 

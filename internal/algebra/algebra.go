@@ -306,7 +306,10 @@ func guardedSelect(in *relation.Relation, pred func(relation.Tuple) bool, g *gua
 			return nil, err
 		}
 		if pred(t) {
-			out.Insert(t) //nolint:errcheck // arity is correct by construction
+			// Selections of a proper set are duplicate-free, so the
+			// no-dedup Append path applies (parallelSelect already relies
+			// on this via mergeChunks).
+			out.Append(t)
 		}
 	}
 	return out, nil

@@ -13,13 +13,17 @@ import (
 )
 
 // The differential harness: randomized databases and PSJ plans, each
-// evaluated four ways — naive and optimized, serial and parallel — with
-// every pair of results cross-checked. Within one evaluator family the
-// parallel result must be tuple-for-tuple identical to the serial one
-// (the workers own contiguous partitions merged in order), and under a
-// tight budget the two must fail or succeed together. Across families
-// only set equality holds (the evaluators materialize different
-// intermediates by design, so their budget trip points differ).
+// evaluated through three evaluator families — naive, plain (pushdown +
+// hash join, no indexes), and indexed (secondary-index access paths,
+// index joins, stats-informed ordering) — serial and parallel, with
+// every pair of results cross-checked. Within one family the parallel
+// result must be tuple-for-tuple identical to the serial one (the
+// workers own contiguous partitions merged in order), and under a tight
+// budget the two must fail or succeed together. Across families only set
+// equality holds (the evaluators materialize different intermediates by
+// design, so their budget trip points differ). The fused (mask
+// pushdown) family is cross-checked at the core layer, where masks
+// exist (internal/core/pushdown_test.go).
 
 // diffCase is one randomized database plus a plan over it.
 type diffCase struct {
@@ -29,8 +33,14 @@ type diffCase struct {
 
 const diffDomain = 8
 
-// genRel builds a relation with a sequential key attribute and random
-// payloads, so row counts are exact and joins hit.
+// stringCol reports whether payload column j of a generated relation
+// carries strings: odd payload columns do, so plans mix int and string
+// comparisons and range atoms cross the kind-major order boundary.
+func stringCol(j int) bool { return j > 0 && j%2 == 1 }
+
+// genRel builds a relation with a sequential int key attribute and
+// random payloads — int on even columns, string on odd ones — so row
+// counts are exact, joins hit, and both value kinds are exercised.
 func genRel(rng *rand.Rand, name string, arity, rows int) *relation.Relation {
 	attrs := make([]string, arity)
 	for j := range attrs {
@@ -41,18 +51,33 @@ func genRel(rng *rand.Rand, name string, arity, rows int) *relation.Relation {
 		t := make(relation.Tuple, arity)
 		t[0] = value.Int(int64(i))
 		for j := 1; j < arity; j++ {
-			t[j] = value.Int(int64(rng.Intn(diffDomain)))
+			if stringCol(j) {
+				t[j] = value.String(fmt.Sprintf("s%d", rng.Intn(diffDomain)))
+			} else {
+				t[j] = value.Int(int64(rng.Intn(diffDomain)))
+			}
 		}
 		r.MustInsert(t...)
 	}
 	return r
 }
 
-var diffOps = []value.Cmp{value.EQ, value.LT, value.LE, value.GT, value.GE}
+var diffOps = []value.Cmp{value.EQ, value.NE, value.LT, value.LE, value.GT, value.GE}
+
+// genConst picks a constant for an atom over column a: usually of the
+// column's kind (so predicates select meaningfully), sometimes of the
+// other kind (so comparisons at the int/string boundary are covered).
+func genConst(rng *rand.Rand, a, dom int) value.Value {
+	crossKind := rng.Float64() < 0.1
+	if stringCol(a) != crossKind {
+		return value.String(fmt.Sprintf("s%d", rng.Intn(dom)))
+	}
+	return value.Int(int64(rng.Intn(dom)))
+}
 
 // genCase builds a random plan: 1–3 scans (relations may repeat, so
 // self-products occur), equality atoms between adjacent scans, constant
-// atoms, and a random projection.
+// atoms over all six comparators, and a random projection.
 func genCase(rng *rand.Rand, bigRows int) diffCase {
 	nRels := 2 + rng.Intn(2)
 	rels := make(map[string]*relation.Relation, nRels)
@@ -114,7 +139,7 @@ func genCase(rng *rand.Rand, bigRows int) diffCase {
 		p.Preds = append(p.Preds, Atom{
 			L:  qual(s, a),
 			Op: diffOps[rng.Intn(len(diffOps))],
-			R:  ConstOp(value.Int(int64(rng.Intn(dom)))),
+			R:  ConstOp(genConst(rng, a, dom)),
 		})
 	}
 	perm := rng.Perm(len(attrs))
@@ -125,15 +150,34 @@ func genCase(rng *rand.Rand, bigRows int) diffCase {
 	return diffCase{rels: rels, plan: p}
 }
 
+// family is one evaluator strategy under differential test.
+type family int
+
+const (
+	famNaive   family = iota // EvalNaive: bottom-up plan tree
+	famPlain                 // EvalPSJ without indexes: pushdown + hash join
+	famIndexed               // EvalPSJ with indexes: range scans, index joins, stats
+)
+
+var families = []family{famNaive, famPlain, famIndexed}
+
+func (f family) String() string {
+	return [...]string{"naive", "plain", "indexed"}[f]
+}
+
 // evalWays runs the plan with the given limits through one family.
-func evalWays(c diffCase, optimized bool, limits guard.Limits) (*relation.Relation, error) {
+func evalWays(c diffCase, f family, limits guard.Limits) (*relation.Relation, error) {
 	g := guard.New(context.Background(), limits)
 	defer g.Close()
 	src := MapSource(c.rels)
-	if optimized {
-		return EvalOptimizedGuarded(c.plan, src, g)
+	switch f {
+	case famNaive:
+		return EvalNaiveGuarded(c.plan.Node(), src, g)
+	case famPlain:
+		return EvalPSJ(c.plan, src, g, ExecOptions{}, nil)
+	default:
+		return EvalPSJ(c.plan, src, g, ExecOptions{UseIndexes: true}, nil)
 	}
-	return EvalNaiveGuarded(c.plan.Node(), src, g)
 }
 
 // sameRelation asserts tuple-for-tuple identity (attributes, order,
@@ -159,61 +203,55 @@ func sameRelation(t *testing.T, label string, a, b *relation.Relation) {
 	}
 }
 
-// checkCase cross-checks the four evaluations of one case and, when
-// budgets is non-empty, the serial/parallel budget parity per family.
+// checkCase cross-checks the six evaluations (three families × serial,
+// parallel) of one case and, when budgets is non-empty, the
+// serial/parallel budget parity per family.
 func checkCase(t *testing.T, c diffCase, budgets []int64) {
 	t.Helper()
 	serial := guard.Limits{Parallelism: 1}
 	par := guard.Limits{Parallelism: 8}
 
-	sn, err := evalWays(c, false, serial)
-	if err != nil {
-		t.Fatalf("naive serial: %v (plan %s)", err, c.plan)
+	results := make([]*relation.Relation, len(families))
+	for _, f := range families {
+		s, err := evalWays(c, f, serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v (plan %s)", f, err, c.plan)
+		}
+		p, err := evalWays(c, f, par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v (plan %s)", f, err, c.plan)
+		}
+		sameRelation(t, f.String()+" serial vs parallel", s, p)
+		results[f] = s
 	}
-	pn, err := evalWays(c, false, par)
-	if err != nil {
-		t.Fatalf("naive parallel: %v (plan %s)", err, c.plan)
-	}
-	so, err := evalWays(c, true, serial)
-	if err != nil {
-		t.Fatalf("optimized serial: %v (plan %s)", err, c.plan)
-	}
-	po, err := evalWays(c, true, par)
-	if err != nil {
-		t.Fatalf("optimized parallel: %v (plan %s)", err, c.plan)
-	}
-	sameRelation(t, "naive serial vs parallel", sn, pn)
-	sameRelation(t, "optimized serial vs parallel", so, po)
-	if !sn.Equal(so) {
-		t.Fatalf("naive and optimized disagree on plan %s:\nnaive %d tuples, optimized %d tuples",
-			c.plan, sn.Len(), so.Len())
+	for _, f := range families[1:] {
+		if !results[famNaive].Equal(results[f]) {
+			t.Fatalf("naive and %s disagree on plan %s:\nnaive %d tuples, %s %d tuples",
+				f, c.plan, results[famNaive].Len(), f, results[f].Len())
+		}
 	}
 
 	for _, b := range budgets {
-		for _, optimized := range []bool{false, true} {
-			family := "naive"
-			if optimized {
-				family = "optimized"
-			}
-			rs, errS := evalWays(c, optimized, guard.Limits{MaxIntermediateRows: b, Parallelism: 1})
-			rp, errP := evalWays(c, optimized, guard.Limits{MaxIntermediateRows: b, Parallelism: 8})
+		for _, f := range families {
+			rs, errS := evalWays(c, f, guard.Limits{MaxIntermediateRows: b, Parallelism: 1})
+			rp, errP := evalWays(c, f, guard.Limits{MaxIntermediateRows: b, Parallelism: 8})
 			if (errS == nil) != (errP == nil) {
 				t.Fatalf("%s budget %d: serial err %v, parallel err %v (plan %s)",
-					family, b, errS, errP, c.plan)
+					f, b, errS, errP, c.plan)
 			}
 			if errS != nil {
 				if !errors.Is(errS, guard.ErrBudgetExceeded) || !errors.Is(errP, guard.ErrBudgetExceeded) {
-					t.Fatalf("%s budget %d: unexpected errors %v / %v", family, b, errS, errP)
+					t.Fatalf("%s budget %d: unexpected errors %v / %v", f, b, errS, errP)
 				}
 				continue
 			}
-			sameRelation(t, family+" under budget", rs, rp)
+			sameRelation(t, f.String()+" under budget", rs, rp)
 		}
 	}
 }
 
 // TestDifferentialRandomized runs 1000 randomized small cases through
-// all four evaluation modes, with budget parity probed on every tenth.
+// all six evaluation modes, with budget parity probed on every tenth.
 func TestDifferentialRandomized(t *testing.T) {
 	const cases = 1000
 	for i := 0; i < cases; i++ {
@@ -228,9 +266,9 @@ func TestDifferentialRandomized(t *testing.T) {
 }
 
 // TestDifferentialLargeParallel runs cases big enough to cross the
-// parallel fan-out thresholds (product, selection, and hash-join probe),
-// so the chunked code paths — not just their serial fallbacks — are the
-// ones being cross-checked, budgets included.
+// parallel fan-out thresholds (product, selection, hash-join probe, and
+// index-join probe), so the chunked code paths — not just their serial
+// fallbacks — are the ones being cross-checked, budgets included.
 func TestDifferentialLargeParallel(t *testing.T) {
 	cases := 24
 	if testing.Short() {

@@ -9,12 +9,17 @@ import (
 	"authdb/internal/value"
 )
 
-// EvalOptimized evaluates a PSJ query with predicate pushdown and hash
-// equi-joins. This is the "different strategy" §4.1 allows for the actual
-// relations, where "optimality is essential". The result is identical, as
-// a set, to EvalNaive on the same query.
+// indexJoinMinInner is the smallest inner (indexed) side for which an
+// index nested-loop join is considered: below it the plain hash build is
+// as cheap as the index probe bookkeeping.
+const indexJoinMinInner = 64
+
+// EvalOptimized evaluates a PSJ query with predicate pushdown, secondary
+// indexes, and hash equi-joins. This is the "different strategy" §4.1
+// allows for the actual relations, where "optimality is essential". The
+// result is identical, as a set, to EvalNaive on the same query.
 func EvalOptimized(p *PSJ, src Source) (*relation.Relation, error) {
-	return EvalOptimizedGuarded(p, src, nil)
+	return EvalPSJ(p, src, nil, ExecOptions{UseIndexes: true}, nil)
 }
 
 // EvalOptimizedGuarded is EvalOptimized under a cancellation-and-budget
@@ -23,19 +28,38 @@ func EvalOptimized(p *PSJ, src Source) (*relation.Relation, error) {
 // query (e.g. an unbounded self-product) fails with a typed error while
 // the engine keeps serving. A nil guard is unlimited.
 func EvalOptimizedGuarded(p *PSJ, src Source, g *guard.Guard) (*relation.Relation, error) {
+	return EvalPSJ(p, src, g, ExecOptions{UseIndexes: true}, nil)
+}
+
+// EvalPSJ evaluates a PSJ query choosing an access path per scan and a
+// strategy per join step, recording its decisions in tr (nil disables).
+//
+// Per scan: an equality-with-constant atom is served from the relation's
+// lazily built secondary hash index; otherwise comparison-with-constant
+// atoms on one attribute fold into a single ordered-index range lookup;
+// otherwise the scan is full, with the local predicate evaluated per row.
+// Joins run greedily left-deep, ordered by distinct-count cardinality
+// estimates, each step either a hash join, an index nested-loop join
+// against an unfiltered base relation's persistent index, or (when no
+// equality connects the sides) a guarded cartesian product. All paths
+// account rows against the same guard and inherit its Parallelism
+// fan-out; with opt.UseIndexes off the evaluator reduces to the plain
+// pushdown + hash-join strategy and legacy join order.
+func EvalPSJ(p *PSJ, src Source, g *guard.Guard, opt ExecOptions, tr *Trace) (*relation.Relation, error) {
 	if len(p.Scans) == 0 {
 		return nil, fmt.Errorf("empty query")
 	}
-	// Load each scan and push down the atoms local to it.
+	// Load each scan and push down the atoms local to it. A part that
+	// keeps no local atoms stays the shared base rename, so later index
+	// lookups on it hit the base relation's persistent cache.
 	parts := make([]*relation.Relation, len(p.Scans))
-	aliasOf := make(map[string]int, len(p.Scans))
+	filtered := make([]bool, len(p.Scans))
 	for i, s := range p.Scans {
 		base, err := src(s.Rel)
 		if err != nil {
 			return nil, err
 		}
 		parts[i] = base.Rename(relation.QualifyAttrs(s.Alias, base.Attrs))
-		aliasOf[s.Alias] = i
 	}
 	local := make([][]Atom, len(p.Scans))
 	var global []Atom
@@ -49,35 +73,68 @@ func EvalOptimizedGuarded(p *PSJ, src Source, g *guard.Guard) (*relation.Relatio
 	}
 	for i := range parts {
 		if len(local[i]) == 0 {
+			tr.scan(ScanTrace{Alias: p.Scans[i].Alias, Rel: p.Scans[i].Rel,
+				Path: PathFullScan, In: parts[i].Len(), Out: parts[i].Len()})
 			continue
 		}
-		filtered, err := applyLocal(parts[i], local[i], g)
+		in := parts[i].Len()
+		out, path, served, err := applyLocal(parts[i], local[i], g, opt.UseIndexes)
 		if err != nil {
 			return nil, err
 		}
-		parts[i] = filtered
+		parts[i] = out
+		filtered[i] = true
+		tr.scan(ScanTrace{Alias: p.Scans[i].Alias, Rel: p.Scans[i].Rel,
+			Path: path, Atoms: served, In: in, Out: out.Len()})
 	}
 
-	// Greedy left-deep join: start with the first scan; at each step prefer
-	// a part connected to the current result by an equality atom (hash
-	// join), falling back to a cartesian product.
-	cur := parts[0]
+	// Greedy left-deep join. With indexes the start is the smallest part
+	// and each step picks the connected part with the lowest estimated
+	// output (|cur|·|part| / distinct values of the part's join key);
+	// without, the legacy order (first scan, then most equality atoms).
+	start := 0
+	if opt.UseIndexes {
+		for i := 1; i < len(parts); i++ {
+			if parts[i].Len() < parts[start].Len() {
+				start = i
+			}
+		}
+	}
+	cur := parts[start]
 	used := make([]bool, len(parts))
-	used[0] = true
+	used[start] = true
 	remainingEq, remainingOther := splitEq(global)
 	for joined := 1; joined < len(parts); joined++ {
-		next, eqs := pickNext(cur, parts, used, remainingEq)
+		var next int
+		var eqs []Atom
+		if opt.UseIndexes {
+			next, eqs = pickNextStats(cur, parts, used, remainingEq)
+		} else {
+			next, eqs = pickNext(cur, parts, used, remainingEq)
+		}
 		var err error
-		if len(eqs) > 0 {
+		kind := JoinProduct
+		switch {
+		case len(eqs) > 0 && opt.UseIndexes && !filtered[next] &&
+			parts[next].Len() >= indexJoinMinInner && cur.Len()*4 <= parts[next].Len():
+			// The inner side is an unfiltered base rename: probing its
+			// persistent per-attribute index beats building a transient
+			// hash table when the probe side is small.
+			kind = JoinIndex
+			cur, err = indexJoin(cur, parts[next], eqs, g)
+			remainingEq = removeAtoms(remainingEq, eqs)
+		case len(eqs) > 0:
+			kind = JoinHash
 			cur, err = hashJoin(cur, parts[next], eqs, g)
 			remainingEq = removeAtoms(remainingEq, eqs)
-		} else {
+		default:
 			cur, err = guardedProduct(cur, parts[next], g)
 		}
 		if err != nil {
 			return nil, err
 		}
 		used[next] = true
+		tr.join(JoinTrace{Kind: kind, With: p.Scans[next].Alias, On: atomStrings(eqs), Out: cur.Len()})
 		// Apply any remaining predicates that became resolvable.
 		remainingEq, err = applyResolvable(&cur, remainingEq, g)
 		if err != nil {
@@ -110,11 +167,33 @@ func EvalOptimizedGuarded(p *PSJ, src Source, g *guard.Guard) (*relation.Relatio
 	return guardedProject(cur, idx, g)
 }
 
-// applyLocal filters one scan by its local atoms, serving the first
-// equality-with-constant atom from the relation's secondary hash index
-// (built lazily, invalidated by mutation) and the remainder by
-// evaluation.
-func applyLocal(part *relation.Relation, atoms []Atom, g *guard.Guard) (*relation.Relation, error) {
+// applyLocal filters one scan by its local atoms, choosing an access
+// path: the first equality-with-constant atom is served from the
+// secondary hash index; failing that, every <,≤,>,≥-with-constant atom
+// on one attribute folds into a single ordered-index range lookup; and
+// failing that (or with useIdx off) the scan is full. Residual atoms are
+// evaluated per retrieved row either way. It reports the path taken and
+// the atoms the access path itself served.
+func applyLocal(part *relation.Relation, atoms []Atom, g *guard.Guard, useIdx bool) (*relation.Relation, string, []string, error) {
+	if useIdx {
+		if out, served, err := tryHashPath(part, atoms, g); out != nil || err != nil {
+			return out, PathHashEq, served, err
+		}
+		if out, served, err := tryRangePath(part, atoms, g); out != nil || err != nil {
+			return out, PathIndexRange, served, err
+		}
+	}
+	pred, err := CompilePred(part.Attrs, atoms)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	out, err := guardedSelect(part, pred, g)
+	return out, PathFullScan, nil, err
+}
+
+// tryHashPath serves the first equality-with-constant atom from the hash
+// index; a nil relation with nil error means no such atom exists.
+func tryHashPath(part *relation.Relation, atoms []Atom, g *guard.Guard) (*relation.Relation, []string, error) {
 	eqAt := -1
 	var eqIdx int
 	for k, a := range atoms {
@@ -123,19 +202,102 @@ func applyLocal(part *relation.Relation, atoms []Atom, g *guard.Guard) (*relatio
 		}
 		j, err := resolve(part.Attrs, a.L)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		eqAt, eqIdx = k, j
 		break
 	}
 	if eqAt < 0 {
-		pred, err := CompilePred(part.Attrs, atoms)
-		if err != nil {
-			return nil, err
-		}
-		return guardedSelect(part, pred, g)
+		return nil, nil, nil
 	}
 	rest := append(append([]Atom(nil), atoms[:eqAt]...), atoms[eqAt+1:]...)
+	out, err := filterRun(part, part.LookupEq(eqIdx, atoms[eqAt].R.Const), rest, g)
+	return out, []string{atoms[eqAt].String()}, err
+}
+
+// tryRangePath folds every <,≤,>,≥-with-constant atom on the attribute
+// of the first such atom into one ordered-index range lookup; a nil
+// relation with nil error means no range atom exists.
+func tryRangePath(part *relation.Relation, atoms []Atom, g *guard.Guard) (*relation.Relation, []string, error) {
+	isRange := func(op value.Cmp) bool {
+		return op == value.LT || op == value.LE || op == value.GT || op == value.GE
+	}
+	at := -1
+	for _, a := range atoms {
+		if !a.R.IsAttr && isRange(a.Op) {
+			j, err := resolve(part.Attrs, a.L)
+			if err != nil {
+				return nil, nil, err
+			}
+			at = j
+			break
+		}
+	}
+	if at < 0 {
+		return nil, nil, nil
+	}
+	var lo, hi *relation.RangeEnd
+	var served []string
+	var rest []Atom
+	for _, a := range atoms {
+		use := false
+		if !a.R.IsAttr && isRange(a.Op) {
+			j, err := resolve(part.Attrs, a.L)
+			if err != nil {
+				return nil, nil, err
+			}
+			use = j == at
+		}
+		if !use {
+			rest = append(rest, a)
+			continue
+		}
+		served = append(served, a.String())
+		v := a.R.Const
+		switch a.Op {
+		case value.GE:
+			lo = tighterLo(lo, &relation.RangeEnd{V: v})
+		case value.GT:
+			lo = tighterLo(lo, &relation.RangeEnd{V: v, Open: true})
+		case value.LE:
+			hi = tighterHi(hi, &relation.RangeEnd{V: v})
+		case value.LT:
+			hi = tighterHi(hi, &relation.RangeEnd{V: v, Open: true})
+		}
+	}
+	out, err := filterRun(part, part.LookupRange(at, lo, hi), rest, g)
+	return out, served, err
+}
+
+// tighterLo keeps the more restrictive lower bound (higher value; open
+// beats closed at equal values).
+func tighterLo(cur, cand *relation.RangeEnd) *relation.RangeEnd {
+	if cur == nil {
+		return cand
+	}
+	switch d := cand.V.Compare(cur.V); {
+	case d > 0, d == 0 && cand.Open:
+		return cand
+	}
+	return cur
+}
+
+// tighterHi keeps the more restrictive upper bound (lower value; open
+// beats closed at equal values).
+func tighterHi(cur, cand *relation.RangeEnd) *relation.RangeEnd {
+	if cur == nil {
+		return cand
+	}
+	switch d := cand.V.Compare(cur.V); {
+	case d < 0, d == 0 && cand.Open:
+		return cand
+	}
+	return cur
+}
+
+// filterRun materializes an index run through the residual atoms,
+// accounting every retrieved tuple against the guard.
+func filterRun(part *relation.Relation, run []relation.Tuple, rest []Atom, g *guard.Guard) (*relation.Relation, error) {
 	pred := func(relation.Tuple) bool { return true }
 	if len(rest) > 0 {
 		var err error
@@ -145,12 +307,15 @@ func applyLocal(part *relation.Relation, atoms []Atom, g *guard.Guard) (*relatio
 		}
 	}
 	out := relation.New(part.Attrs)
-	for _, t := range part.LookupEq(eqIdx, atoms[eqAt].R.Const) {
+	for _, t := range run {
 		if err := g.Add(1); err != nil {
 			return nil, err
 		}
 		if pred(t) {
-			out.Insert(t) //nolint:errcheck // arity correct by construction
+			// The run is a subslice of one relation's distinct tuples, so
+			// the filtered output is duplicate-free: the no-dedup Append
+			// path applies (as in mergeChunks).
+			out.Append(t)
 		}
 	}
 	return out, nil
@@ -201,6 +366,19 @@ func splitEq(atoms []Atom) (eq, other []Atom) {
 	return eq, other
 }
 
+// connAtoms returns the equality atoms relating cur to parts[i].
+func connAtoms(cur, part *relation.Relation, eqs []Atom) []Atom {
+	var conn []Atom
+	for _, a := range eqs {
+		l, r := a.L, a.R.Attr
+		if (hasAttr(cur.Attrs, l) && hasAttr(part.Attrs, r)) ||
+			(hasAttr(cur.Attrs, r) && hasAttr(part.Attrs, l)) {
+			conn = append(conn, a)
+		}
+	}
+	return conn
+}
+
 // pickNext chooses the unused part connected to cur by the most equality
 // atoms (0 means a cartesian product is unavoidable this step).
 func pickNext(cur *relation.Relation, parts []*relation.Relation, used []bool, eqs []Atom) (int, []Atom) {
@@ -209,16 +387,50 @@ func pickNext(cur *relation.Relation, parts []*relation.Relation, used []bool, e
 		if used[i] {
 			continue
 		}
-		var conn []Atom
-		for _, a := range eqs {
-			l, r := a.L, a.R.Attr
-			if (hasAttr(cur.Attrs, l) && hasAttr(parts[i].Attrs, r)) ||
-				(hasAttr(cur.Attrs, r) && hasAttr(parts[i].Attrs, l)) {
-				conn = append(conn, a)
-			}
-		}
+		conn := connAtoms(cur, parts[i], eqs)
 		if bestIdx < 0 || len(conn) > len(bestEqs) {
 			bestIdx, bestEqs = i, conn
+		}
+	}
+	return bestIdx, bestEqs
+}
+
+// pickNextStats chooses the next part by cardinality estimate: among the
+// parts connected to cur by an equality, the one minimizing
+// |cur|·|part|/V(part, join key), with V the distinct-count statistic
+// from the ordered index; a part with no connecting equality (cartesian
+// product) is a last resort, smallest first. Ties break on scan order,
+// so the plan is deterministic.
+func pickNextStats(cur *relation.Relation, parts []*relation.Relation, used []bool, eqs []Atom) (int, []Atom) {
+	bestIdx, bestEqs := -1, []Atom(nil)
+	bestEst := 0.0
+	for i := range parts {
+		if used[i] {
+			continue
+		}
+		conn := connAtoms(cur, parts[i], eqs)
+		var est float64
+		if len(conn) > 0 {
+			distinct := 1
+			for _, a := range conn {
+				attr := a.R.Attr
+				if hasAttr(parts[i].Attrs, a.L) {
+					attr = a.L
+				}
+				if j, err := resolve(parts[i].Attrs, attr); err == nil {
+					if d := parts[i].DistinctCount(j); d > distinct {
+						distinct = d
+					}
+				}
+			}
+			est = float64(cur.Len()) * float64(parts[i].Len()) / float64(distinct)
+		} else {
+			// No join key: a product. Rank it after every joinable part
+			// by estimating the full cross size against the whole input.
+			est = 1e18 + float64(cur.Len())*float64(parts[i].Len())
+		}
+		if bestIdx < 0 || est < bestEst {
+			bestIdx, bestEqs, bestEst = i, conn, est
 		}
 	}
 	return bestIdx, bestEqs
@@ -266,12 +478,11 @@ func applyResolvable(cur **relation.Relation, atoms []Atom, g *guard.Guard) ([]A
 	return notReady, nil
 }
 
-// hashJoin joins l and r on the given equality atoms (each relating an
-// attribute of l to an attribute of r, in either order), accounting the
-// build side and every output row against the guard.
-func hashJoin(l, r *relation.Relation, eqs []Atom, g *guard.Guard) (*relation.Relation, error) {
-	li := make([]int, len(eqs))
-	ri := make([]int, len(eqs))
+// joinCols resolves the equality atoms of a join into column index pairs
+// (li in l, ri in r), flipping atoms written in the other orientation.
+func joinCols(l, r *relation.Relation, eqs []Atom) (li, ri []int) {
+	li = make([]int, len(eqs))
+	ri = make([]int, len(eqs))
 	for k, a := range eqs {
 		x, y := a.L, a.R.Attr
 		if !hasAttr(l.Attrs, x) {
@@ -280,6 +491,14 @@ func hashJoin(l, r *relation.Relation, eqs []Atom, g *guard.Guard) (*relation.Re
 		li[k] = mustIndex(l.Attrs, x)
 		ri[k] = mustIndex(r.Attrs, y)
 	}
+	return li, ri
+}
+
+// hashJoin joins l and r on the given equality atoms (each relating an
+// attribute of l to an attribute of r, in either order), accounting the
+// build side and every output row against the guard.
+func hashJoin(l, r *relation.Relation, eqs []Atom, g *guard.Guard) (*relation.Relation, error) {
+	li, ri := joinCols(l, r, eqs)
 	key := func(t relation.Tuple, idx []int) string {
 		var b strings.Builder
 		for _, i := range idx {
@@ -317,6 +536,49 @@ func hashJoin(l, r *relation.Relation, eqs []Atom, g *guard.Guard) (*relation.Re
 		}
 	}
 	return out, nil
+}
+
+// indexJoin is an index nested-loop join: for each row of l it probes r's
+// persistent secondary hash index on the first equality's column and
+// verifies the remaining equalities per candidate. Unlike hashJoin it
+// builds nothing per query, so when r is an unfiltered base relation the
+// index amortizes across every query that joins through it. Output rows
+// are accounted like hashJoin's; the probe side fans out across the
+// guard's Parallelism.
+func indexJoin(l, r *relation.Relation, eqs []Atom, g *guard.Guard) (*relation.Relation, error) {
+	li, ri := joinCols(l, r, eqs)
+	if par := g.Parallelism(); par > 1 && l.Len() >= parallelMinRows {
+		return parallelIndexProbe(l, r, li, ri, g, par)
+	}
+	out := relation.New(append(append([]string(nil), l.Attrs...), r.Attrs...))
+	for _, t := range l.Tuples() {
+		if err := g.Check(); err != nil {
+			return nil, err
+		}
+		for _, u := range r.LookupEq(ri[0], t[li[0]]) {
+			if !restEqsMatch(t, u, li, ri) {
+				continue
+			}
+			if err := g.Add(1); err != nil {
+				return nil, err
+			}
+			row := make(relation.Tuple, 0, len(t)+len(u))
+			row = append(append(row, t...), u...)
+			out.Insert(row) //nolint:errcheck // arity correct by construction
+		}
+	}
+	return out, nil
+}
+
+// restEqsMatch verifies the equality columns beyond the first (the one
+// the index served) between a probe row and a candidate.
+func restEqsMatch(t, u relation.Tuple, li, ri []int) bool {
+	for k := 1; k < len(li); k++ {
+		if t[li[k]].Compare(u[ri[k]]) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func mustIndex(attrs []string, a string) int {

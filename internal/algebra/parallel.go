@@ -119,6 +119,40 @@ func parallelSelect(in *relation.Relation, pred func(relation.Tuple) bool, g *gu
 	return mergeChunks(in.Attrs, parts), nil
 }
 
+// parallelIndexProbe partitions the probe side of an index nested-loop
+// join. The inner relation's index cache is mutex-protected, and the
+// first chunk's first probe may build it; after that every worker reads
+// the same shared entry.
+func parallelIndexProbe(l, r *relation.Relation, li, ri []int, g *guard.Guard, par int) (*relation.Relation, error) {
+	lt := l.Tuples()
+	parts := make([][]relation.Tuple, min(par, len(lt)))
+	err := runChunks(len(lt), par, func(ci, lo, hi int) error {
+		var rows []relation.Tuple
+		for _, t := range lt[lo:hi] {
+			if err := g.Check(); err != nil {
+				return err
+			}
+			for _, u := range r.LookupEq(ri[0], t[li[0]]) {
+				if !restEqsMatch(t, u, li, ri) {
+					continue
+				}
+				if err := g.Add(1); err != nil {
+					return err
+				}
+				row := make(relation.Tuple, 0, len(t)+len(u))
+				rows = append(rows, append(append(row, t...), u...))
+			}
+		}
+		parts[ci] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	attrs := append(append([]string(nil), l.Attrs...), r.Attrs...)
+	return mergeChunks(attrs, parts), nil
+}
+
 // parallelProbe partitions the probe side of a hash join over an
 // already-built (read-only) hash table.
 func parallelProbe(l, r *relation.Relation, li []int, build map[string][]relation.Tuple,

@@ -23,8 +23,10 @@ type Snapshot struct {
 type Decision struct {
 	// PSJ is the normal-form plan of the request.
 	PSJ *algebra.PSJ
-	// Answer is the full (unmasked) answer A; callers must not deliver
-	// it to the user.
+	// Answer is the unmasked answer A; callers must not deliver it to
+	// the user. When PushdownApplied is set it omits the rows the mask
+	// provably withholds entirely (they were pruned before
+	// materialization); the delivered Masked relation is unaffected.
 	Answer *relation.Relation
 	// Masked is the deliverable relation: permitted values only, other
 	// cells null, fully-withheld rows dropped.
@@ -49,6 +51,11 @@ type Decision struct {
 	// Inst is the per-request view instantiation (variable names,
 	// provenance); useful for rendering intermediate meta-relations.
 	Inst *Instance
+	// Pushdown holds the mask-derived necessary delivery condition
+	// (possibly empty); PushdownApplied reports whether it was fused
+	// into the actual-side plan for this retrieval.
+	Pushdown        []algebra.Atom
+	PushdownApplied bool
 }
 
 // MaskPlan is the meta-side half of a Decision: everything the
@@ -76,6 +83,11 @@ type MaskPlan struct {
 	// columns within the wide answer.
 	WidePSJ *algebra.PSJ
 	OutIdx  []int
+	// Pushdown is the mask-derived necessary delivery condition: atoms
+	// over the mask's attributes that every delivered row satisfies
+	// (Mask.PushdownAtoms). Definition-derived, so cached with the plan;
+	// Options.MaskPushdown decides whether retrieval actually fuses it.
+	Pushdown []algebra.Atom
 	// Intermediates holds the per-phase meta-relations when
 	// Options.CollectIntermediates is set (such plans bypass the cache).
 	Intermediates []Snapshot
@@ -97,6 +109,9 @@ type Authorizer struct {
 	// (user, query), validated against the store's definition
 	// generations. Plans that collect intermediates bypass it.
 	Cache *MaskCache
+	// Trace, when non-nil, collects the access paths the actual-side
+	// evaluator chose (for EXPLAIN).
+	Trace *algebra.Trace
 }
 
 // NewAuthorizer builds an authorizer with the given options.
@@ -151,18 +166,34 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 		FullyAuthorized: mp.FullyAuthorized,
 		Denied:          mp.Denied,
 		Intermediates:   mp.Intermediates,
+		Pushdown:        mp.Pushdown,
 	}
+
+	// Fuse the mask-derived necessary delivery condition into the actual
+	// side when enabled: rows failing it match no mask tuple, so masking
+	// would drop them anyway and pruning early changes nothing delivered.
+	// Explain (CollectIntermediates) keeps the unfused plan so the
+	// rendered answer matches the paper's worked examples, and a full
+	// grant has nothing to prune.
+	fuse := a.Opt.MaskPushdown && !a.Opt.CollectIntermediates &&
+		len(mp.Pushdown) > 0 && !mp.FullyAuthorized
+	d.PushdownApplied = fuse
+	exec := algebra.ExecOptions{UseIndexes: a.Opt.IndexedExec}
 
 	// Actual side. The §6(3) extension masks the wide (pre-projection)
 	// answer, so it executes the query without the final projection and
 	// derives the requested columns from it.
 	var err error
 	if a.Opt.ExtendedMasks {
+		widePSJ := mp.WidePSJ
+		if fuse {
+			widePSJ = fusePushdown(widePSJ, mp.Pushdown)
+		}
 		var wideAns *relation.Relation
 		if a.Opt.OptimizedExec {
-			wideAns, err = algebra.EvalOptimizedGuarded(mp.WidePSJ, a.Source, a.Guard)
+			wideAns, err = algebra.EvalPSJ(widePSJ, a.Source, a.Guard, exec, a.Trace)
 		} else {
-			wideAns, err = algebra.EvalNaiveGuarded(mp.WidePSJ.Node(), a.Source, a.Guard)
+			wideAns, err = algebra.EvalNaiveGuarded(widePSJ.Node(), a.Source, a.Guard)
 		}
 		if err != nil {
 			return nil, err
@@ -171,10 +202,14 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 		d.Masked, d.Stats = mp.Mask.ApplyExtended(wideAns, mp.OutIdx, psj.Cols)
 		return d, nil
 	}
+	psjExec := psj
+	if fuse {
+		psjExec = fusePushdown(psjExec, mp.Pushdown)
+	}
 	if a.Opt.OptimizedExec {
-		d.Answer, err = algebra.EvalOptimizedGuarded(psj, a.Source, a.Guard)
+		d.Answer, err = algebra.EvalPSJ(psjExec, a.Source, a.Guard, exec, a.Trace)
 	} else {
-		d.Answer, err = algebra.EvalNaiveGuarded(psj.Node(), a.Source, a.Guard)
+		d.Answer, err = algebra.EvalNaiveGuarded(psjExec.Node(), a.Source, a.Guard)
 	}
 	if err != nil {
 		return nil, err
@@ -269,6 +304,7 @@ func (a *Authorizer) maskPlanFor(user string, psj *algebra.PSJ) (*MaskPlan, erro
 		if a.Opt.Subsume {
 			mp.Mask.Subsume()
 		}
+		mp.Pushdown = mp.Mask.PushdownAtoms()
 		mp.FullyAuthorized = fullGrantExtended(mp.Mask, mp.OutIdx)
 		mp.Denied = !revealsAnything(mp.Mask, mp.OutIdx)
 		if !mp.FullyAuthorized && !mp.Denied {
@@ -293,6 +329,7 @@ func (a *Authorizer) maskPlanFor(user string, psj *algebra.PSJ) (*MaskPlan, erro
 	if a.Opt.Subsume {
 		mp.Mask.Subsume()
 	}
+	mp.Pushdown = mp.Mask.PushdownAtoms()
 	mp.FullyAuthorized = a.fullGrant(mp.Mask)
 	mp.Denied = len(mp.Mask.Tuples) == 0
 	if !mp.FullyAuthorized && !mp.Denied {

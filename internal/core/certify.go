@@ -33,7 +33,11 @@ type Certification struct {
 // instance of the machinery: same meta-relations, same extended
 // operators, no masking.
 func (a *Authorizer) Certify(quality string, def *cview.Def) (*Certification, error) {
-	d, err := a.Retrieve(quality, def)
+	// Certification delivers the full answer, so the mask may never prune
+	// rows from it — uncertified rows are annotated, not withheld.
+	ac := *a
+	ac.Opt.MaskPushdown = false
+	d, err := ac.Retrieve(quality, def)
 	if err != nil {
 		return nil, err
 	}

@@ -34,6 +34,19 @@ type Options struct {
 	// OptimizedExec evaluates the actual-relation side with pushdown and
 	// hash joins instead of the naive normal form.
 	OptimizedExec bool
+	// IndexedExec lets the optimized evaluator use the relations' ordered
+	// secondary indexes: hash/range access paths for constant atoms, index
+	// nested-loop joins, and statistics-informed join ordering. Results
+	// are identical to plain optimized execution; only access paths change.
+	IndexedExec bool
+	// MaskPushdown conjoins the mask-derived necessary delivery condition
+	// (Mask.PushdownAtoms) with the actual-side plan, pruning rows the
+	// mask would withhold entirely before they are materialized. The
+	// delivered relation, permits, and grant/deny flags are unchanged;
+	// Decision.Answer and the Rows/Cells statistics then describe the
+	// pruned answer rather than the full one, so the worked-example
+	// renderings keep it off and the public API layer turns it on.
+	MaskPushdown bool
 	// ExtendedMasks enables the §6(3) extension: masks "expressed with
 	// additional attributes". The mask is applied before the final
 	// projection, so a view's selection conditions on attributes the
@@ -62,6 +75,7 @@ func DefaultOptions() Options {
 		PruneDangling: true,
 		Subsume:       true,
 		OptimizedExec: true,
+		IndexedExec:   true,
 		ViewCopies:    2,
 	}
 }

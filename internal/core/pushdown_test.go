@@ -1,0 +1,207 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"authdb/internal/core"
+	"authdb/internal/cview"
+	"authdb/internal/workload"
+)
+
+// pushdownFixture: one relation, two views restricting the same column so
+// the hull over the mask tuples is a proper interval.
+func pushdownFixture(t *testing.T) *workload.Fixture {
+	t.Helper()
+	f := workload.NewFixture()
+	f.MustExec(`
+		relation R (A, B, C) key (A);
+		insert into R values (0, 1, 0);
+		insert into R values (1, 2, 3);
+		insert into R values (2, 3, 5);
+		insert into R values (3, 4, 7);
+		view LO (R.A, R.B, R.C) where R.C >= 2 and R.C <= 4;
+		view HI (R.A, R.B, R.C) where R.C >= 5;
+		permit LO to u;
+		permit HI to u;
+	`)
+	return f
+}
+
+func allColsDef() *cview.Def {
+	return &cview.Def{Cols: []cview.ColRef{
+		{Alias: "R", Attr: "A"}, {Alias: "R", Attr: "B"}, {Alias: "R", Attr: "C"},
+	}}
+}
+
+// TestPushdownAtomsHull: two mask tuples with C ∈ [2,4] and C ∈ [5,∞)
+// must yield the hull condition C >= 2 — the weaker bound — and nothing
+// on the unconstrained attributes.
+func TestPushdownAtomsHull(t *testing.T) {
+	f := pushdownFixture(t)
+	a := core.NewAuthorizer(f.Store, f.Source, core.DefaultOptions())
+	d, err := a.Retrieve("u", allColsDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, at := range d.Pushdown {
+		got = append(got, at.String())
+	}
+	if strings.Join(got, "; ") != "R.C >= 2" {
+		t.Fatalf("pushdown atoms = %v, want [R.C >= 2]", got)
+	}
+	if d.PushdownApplied {
+		t.Fatal("core DefaultOptions must not fuse pushdown (worked examples render the full answer)")
+	}
+}
+
+// TestPushdownPrunesAnswer: with MaskPushdown on, the withheld row
+// (C = 0, outside both views) disappears from Answer before
+// materialization while Masked is unchanged.
+func TestPushdownPrunesAnswer(t *testing.T) {
+	f := pushdownFixture(t)
+	opt := core.DefaultOptions()
+	unfused, err := core.NewAuthorizer(f.Store, f.Source, opt).Retrieve("u", allColsDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.MaskPushdown = true
+	fused, err := core.NewAuthorizer(f.Store, f.Source, opt).Retrieve("u", allColsDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fused.PushdownApplied {
+		t.Fatal("pushdown must fire on a partial mask with a bounded hull")
+	}
+	if unfused.Answer.Len() != 4 || fused.Answer.Len() != 3 {
+		t.Fatalf("answer sizes %d / %d, want 4 unfused and 3 fused",
+			unfused.Answer.Len(), fused.Answer.Len())
+	}
+	if !fused.Masked.Equal(unfused.Masked) {
+		t.Fatalf("fused mask output differs:\n%s\nvs\n%s", fused.Masked, unfused.Masked)
+	}
+	for _, tup := range fused.Answer.Tuples() {
+		if !unfused.Answer.Contains(tup) {
+			t.Fatalf("fused answer invented row %v", tup)
+		}
+	}
+}
+
+// TestPushdownFullGrantAndDenial: a full grant has a full hull (nothing
+// to push), and a denied mask has no tuples (no atoms, and nothing
+// delivered either way).
+func TestPushdownFullGrantAndDenial(t *testing.T) {
+	f := workload.NewFixture()
+	f.MustExec(`
+		relation R (A, B) key (A);
+		insert into R values (1, 2);
+		view ALL_R (R.A, R.B);
+		permit ALL_R to full;
+	`)
+	opt := core.DefaultOptions()
+	opt.MaskPushdown = true
+	def := &cview.Def{Cols: []cview.ColRef{{Alias: "R", Attr: "A"}, {Alias: "R", Attr: "B"}}}
+	d, err := core.NewAuthorizer(f.Store, f.Source, opt).Retrieve("full", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.FullyAuthorized || len(d.Pushdown) != 0 || d.PushdownApplied {
+		t.Fatalf("full grant: Pushdown=%v applied=%v", d.Pushdown, d.PushdownApplied)
+	}
+	d, err = core.NewAuthorizer(f.Store, f.Source, opt).Retrieve("nobody", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Denied || len(d.Pushdown) != 0 || d.PushdownApplied || d.Masked.Len() != 0 {
+		t.Fatalf("denial: Pushdown=%v applied=%v masked=%d", d.Pushdown, d.PushdownApplied, d.Masked.Len())
+	}
+}
+
+func permitsKey(ps []core.PermitStatement) string {
+	var out []string
+	for _, p := range ps {
+		out = append(out, p.String())
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestPushdownDecisionsIdentical is the fused-path differential: for
+// random databases, views, and queries, every execution family — naive,
+// plain optimized, indexed — with and without mask pushdown must deliver
+// the identical masked relation, permit statements, grant/deny flags,
+// and revealed-cell statistics. Pushdown may only shrink the unmasked
+// Answer, and only by rows absent from the unfused Masked output.
+func TestPushdownDecisionsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	cases := 300
+	if testing.Short() {
+		cases = 60
+	}
+	for iter := 0; iter < cases; iter++ {
+		f := soundFixture(rng, 10)
+		randJoinView(f, rng, 0)
+		if rng.Intn(2) == 0 {
+			randJoinView(f, rng, 1)
+		}
+		def := randQueryDef(rng)
+		base := core.DefaultOptions()
+		base.IndexedExec = false
+		base.ExtendedMasks = rng.Intn(2) == 0
+
+		d0, err := core.NewAuthorizer(f.Store, f.Source, base).Retrieve("u", def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vi := 0; vi < 5; vi++ {
+			opt := base
+			switch vi {
+			case 0:
+				opt.OptimizedExec = false
+			case 1:
+				opt.IndexedExec = true
+			case 2:
+				opt.MaskPushdown = true
+			case 3:
+				opt.MaskPushdown, opt.IndexedExec = true, true
+			case 4:
+				opt.MaskPushdown, opt.OptimizedExec = true, false
+			}
+			label := fmt.Sprintf("case %d variant %d (ext=%v) query %s", iter, vi, base.ExtendedMasks, def)
+			d, err := core.NewAuthorizer(f.Store, f.Source, opt).Retrieve("u", def)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !d.Masked.Equal(d0.Masked) {
+				t.Fatalf("%s: masked answers differ:\n%s\nvs\n%s", label, d.Masked, d0.Masked)
+			}
+			if d.FullyAuthorized != d0.FullyAuthorized || d.Denied != d0.Denied {
+				t.Fatalf("%s: outcome flags differ", label)
+			}
+			if permitsKey(d.Permits) != permitsKey(d0.Permits) {
+				t.Fatalf("%s: permits differ:\n%s\nvs\n%s", label, permitsKey(d.Permits), permitsKey(d0.Permits))
+			}
+			if d.Stats.RevealedCells != d0.Stats.RevealedCells ||
+				d.Stats.RevealedRows != d0.Stats.RevealedRows ||
+				d.Stats.FullRows != d0.Stats.FullRows {
+				t.Fatalf("%s: revealed stats differ: %+v vs %+v", label, d.Stats, d0.Stats)
+			}
+			if !opt.MaskPushdown {
+				if !d.Answer.Equal(d0.Answer) {
+					t.Fatalf("%s: answers differ without pushdown", label)
+				}
+				continue
+			}
+			// Pushdown may prune, never invent or over-prune: the fused
+			// answer is a subset of the full one, and every row of the
+			// unfused masked output came through.
+			for _, tup := range d.Answer.Tuples() {
+				if !d0.Answer.Contains(tup) {
+					t.Fatalf("%s: fused answer invented row %v", label, tup)
+				}
+			}
+		}
+	}
+}

@@ -213,6 +213,8 @@ func randOptions(rng *rand.Rand) core.Options {
 	opt.SelfJoins = rng.Intn(2) == 0
 	opt.Subsume = rng.Intn(2) == 0
 	opt.OptimizedExec = rng.Intn(2) == 0
+	opt.IndexedExec = rng.Intn(2) == 0
+	opt.MaskPushdown = rng.Intn(2) == 0
 	opt.ExtendedMasks = rng.Intn(2) == 0
 	return opt
 }

@@ -413,6 +413,7 @@ func (s *Session) explain(ctx context.Context, def *cview.Def) (*Result, error) 
 	opt.CollectIntermediates = true
 	auth := core.NewAuthorizer(s.eng.store, s.eng.source, opt)
 	auth.Guard = g
+	auth.Trace = &algebra.Trace{}
 	d, err := auth.Retrieve(s.user, def)
 	if err != nil {
 		return nil, err
@@ -438,7 +439,32 @@ func (s *Session) explain(ctx context.Context, def *cview.Def) (*Result, error) 
 			fmt.Fprintln(&b, p.String())
 		}
 	}
+	if lines := auth.Trace.Lines(); len(lines) > 0 {
+		fmt.Fprintln(&b, "\naccess paths:")
+		for _, l := range lines {
+			fmt.Fprintln(&b, "  "+l)
+		}
+	}
+	// Explain itself always runs the unfused plan (the rendered phases
+	// describe the full answer); report what retrieval would do.
+	switch {
+	case len(d.Pushdown) == 0 || d.FullyAuthorized:
+		fmt.Fprintln(&b, "mask pushdown: none")
+	case s.eng.opt.MaskPushdown:
+		fmt.Fprintf(&b, "mask pushdown: %s (applied on retrieve)\n", atomsString(d.Pushdown))
+	default:
+		fmt.Fprintf(&b, "mask pushdown: %s (available, disabled)\n", atomsString(d.Pushdown))
+	}
 	return &Result{Text: strings.TrimRight(b.String(), "\n"), Decision: d}, nil
+}
+
+// atomsString renders pushdown atoms as a conjunction.
+func atomsString(atoms []algebra.Atom) string {
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " and ")
 }
 
 func (s *Session) insert(p parser.Insert) (*Result, error) {

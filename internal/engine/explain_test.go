@@ -30,6 +30,37 @@ func TestExplainStatement(t *testing.T) {
 	}
 }
 
+// TestExplainAccessPaths: explain reports the access path the evaluator
+// chose per scan and the mask-derived pushdown condition. With the
+// engine on core.DefaultOptions, pushdown is computed but not fused, so
+// it reports as available.
+func TestExplainAccessPaths(t *testing.T) {
+	e := paperEngine(t)
+	res, err := e.NewSession("Brown", false).Exec(
+		`explain retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) where PROJECT.BUDGET >= 250000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"access paths:",
+		"scan PROJECT: index range [PROJECT.BUDGET >= 250000]",
+		"mask pushdown: PROJECT.SPONSOR = Acme (available, disabled)",
+	} {
+		if !strings.Contains(res.Text, want) {
+			t.Fatalf("explain output misses %q:\n%s", want, res.Text)
+		}
+	}
+	// A full grant has a full hull: nothing to push down.
+	res, err = e.NewSession("Brown", false).Exec(
+		"explain " + strings.TrimSpace(workload.Example3Query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "mask pushdown: none") {
+		t.Fatalf("full grant must report no pushdown:\n%s", res.Text)
+	}
+}
+
 func TestExplainDenied(t *testing.T) {
 	e := paperEngine(t)
 	res, err := e.NewSession("Mallory", false).Exec(

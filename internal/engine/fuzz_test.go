@@ -26,12 +26,18 @@ func FuzzSessionExec(f *testing.F) {
 		`view W (EMPLOYEE.NAME) where EMPLOYEE.SALARY > 0 or EMPLOYEE.TITLE = manager`,
 		`permit SAE to Someone`,
 		`retrieve (EMPLOYEE.NAME) where EMPLOYEE.SALARY ≥ 26000 and EMPLOYEE.SALARY ≠ 32000`,
+		`retrieve (PROJECT.NUMBER, PROJECT.BUDGET) where PROJECT.BUDGET > 250000 and PROJECT.BUDGET <= 500000`,
+		`retrieve (EMPLOYEE.NAME, PROJECT.SPONSOR) where EMPLOYEE.SALARY < 30000 and PROJECT.BUDGET >= 300000`,
+		`retrieve (ASSIGNMENT.E_NAME) where ASSIGNMENT.P_NO >= aa-00 and ASSIGNMENT.P_NO < zz-99`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, stmt string) {
-		e := engine.New(core.DefaultOptions())
+		// Fuzz the full execution stack: indexes and mask pushdown on.
+		opt := core.DefaultOptions()
+		opt.MaskPushdown = true
+		e := engine.New(opt)
 		if _, err := e.NewSession("admin", true).ExecScript(workload.PaperScript); err != nil {
 			t.Fatal(err)
 		}

@@ -212,6 +212,39 @@ func mergeNot(a, b []value.Value) []value.Value {
 	return out
 }
 
+// Hull returns a constraint implied by the disjunction a ∨ b: the weaker
+// bound on each side, excluding only the points neither operand admits.
+// Every value satisfying a or b satisfies Hull(a, b); the converse need
+// not hold (the hull over-approximates, soundly for necessary-condition
+// uses like mask-predicate pushdown).
+func Hull(a, b Interval) Interval {
+	if a.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return a
+	}
+	out := Interval{Lo: a.Lo, Hi: a.Hi}
+	if loLess(b.Lo, a.Lo) {
+		out.Lo = b.Lo
+	}
+	if hiGreater(b.Hi, a.Hi) {
+		out.Hi = b.Hi
+	}
+	// A point stays excluded only when both operands reject it; points
+	// outside the hull bounds are already rejected and stay out of the
+	// canonical form.
+	probe := Interval{Lo: out.Lo, Hi: out.Hi}
+	var kept []value.Value
+	for _, n := range mergeNot(a.not, b.not) {
+		if !a.Contains(n) && !b.Contains(n) && probe.Contains(n) {
+			kept = append(kept, n)
+		}
+	}
+	out.not = kept
+	return out
+}
+
 // Implies reports whether a ⇒ b, i.e. every value satisfying a satisfies b.
 // It must never report true incorrectly (that would leak data by clearing a
 // restriction); reporting false when true only costs completeness.

@@ -81,6 +81,47 @@ func TestIntersectIsConjunction(t *testing.T) {
 	}
 }
 
+func TestHullContainsUnion(t *testing.T) {
+	// Soundness of the disjunction hull: every value either operand
+	// admits must be admitted by the hull (the mask-pushdown direction —
+	// the hull may only over-approximate, never exclude a permitted
+	// value).
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		a, b := randInterval(r), randInterval(r)
+		h := Hull(a, b)
+		for _, v := range domain {
+			if (a.Contains(v) || b.Contains(v)) && !h.Contains(v) {
+				t.Fatalf("Hull(%v, %v) = %v excludes %v admitted by an operand", a, b, h, v)
+			}
+		}
+	}
+}
+
+func TestHullKeepsCommonExclusions(t *testing.T) {
+	// Tightness where it is sound: a point both operands exclude stays
+	// excluded, and bounds shared by both operands survive.
+	a := Intersect(FromCmp(value.GE, value.Int(2)), FromCmp(value.NE, value.Int(5)))
+	b := Intersect(FromCmp(value.GE, value.Int(3)), FromCmp(value.NE, value.Int(5)))
+	h := Hull(a, b)
+	if h.Contains(value.Int(5)) {
+		t.Fatalf("Hull %v must keep the shared exclusion of 5", h)
+	}
+	if h.Contains(value.Int(1)) {
+		t.Fatalf("Hull %v must keep the shared lower bound", h)
+	}
+	// An exclusion only one operand carries must be dropped.
+	c := FromCmp(value.GE, value.Int(2))
+	if h2 := Hull(a, c); !h2.Contains(value.Int(5)) {
+		t.Fatalf("Hull %v must drop the one-sided exclusion of 5", h2)
+	}
+	// An empty operand contributes nothing.
+	empty := Intersect(Point(value.Int(1)), Point(value.Int(2)))
+	if h3 := Hull(empty, a); !h3.Equal(a) {
+		t.Fatalf("Hull(empty, a) = %v, want %v", h3, a)
+	}
+}
+
 func TestImpliesIsSound(t *testing.T) {
 	// Soundness is the security-critical direction: Implies=true must
 	// never admit a value of a outside b (that would clear a restriction

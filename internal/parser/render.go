@@ -23,13 +23,24 @@ func ParseProgramPos(input string) ([]StmtPos, error) {
 	}
 	p := &parser{toks: toks}
 	var out []StmtPos
+	// Track the line incrementally: statement positions only move forward,
+	// so counting newlines over each gap keeps the whole pass linear in the
+	// script size (recounting from the start per statement is quadratic on
+	// bulk-load scripts).
+	line, off := 1, 0
 	for {
 		for p.accept(tokSemi) {
 		}
 		if p.peek().kind == tokEOF {
 			return out, nil
 		}
-		line := lineAt(input, p.peek().pos)
+		if pos := p.peek().pos; pos > off {
+			if pos > len(input) {
+				pos = len(input)
+			}
+			line += strings.Count(input[off:pos], "\n")
+			off = pos
+		}
 		s, err := p.statement()
 		if err != nil {
 			return nil, err
@@ -39,14 +50,6 @@ func ParseProgramPos(input string) ([]StmtPos, error) {
 			return nil, fmt.Errorf("pos %d: expected ';' between statements, found %s", p.peek().pos, p.peek())
 		}
 	}
-}
-
-// lineAt returns the 1-based line of byte offset pos in input.
-func lineAt(input string, pos int) int {
-	if pos > len(input) {
-		pos = len(input)
-	}
-	return 1 + strings.Count(input[:pos], "\n")
 }
 
 // Render serializes a mutating statement back to statement-language text

@@ -1,39 +1,67 @@
 package relation
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"authdb/internal/value"
 )
 
-// indexEntry is one built secondary index, remembering how many tuples it
-// was built from: a Rename view holds a point-in-time slice header, so a
-// shared cache entry is only valid for a reader whose tuple count
-// matches.
+// indexEntry is one built secondary hash index, remembering how many
+// tuples it was built from: a Rename view holds a point-in-time slice
+// header, so a shared cache entry is only valid for a reader whose tuple
+// count matches.
 type indexEntry struct {
 	builtLen int
 	m        map[string][]Tuple
 }
 
-// indexCache holds lazily built secondary hash indexes over a relation's
-// tuples. Indexes are built on first equality lookup and invalidated
-// wholesale by any mutation; the cache is shared across Rename views of
-// the same storage and revalidated per reader by tuple count.
+// orderedEntry is one built ordered secondary index: the relation's
+// tuples sorted by the value at one attribute position (ties keep the
+// original tuple order, so runs are deterministic). It serves range
+// lookups by binary search and carries the attribute's distinct-value
+// count for the planner's cardinality estimates.
+type orderedEntry struct {
+	builtLen int
+	sorted   []Tuple
+	distinct int
+}
+
+// indexCache holds lazily built secondary indexes over a relation's
+// tuples: hash indexes for equality lookups and ordered runs for range
+// lookups. Indexes are built on first lookup and invalidated wholesale
+// by any mutation (Insert, Append, Delete all bump); the cache is shared
+// across Rename views of the same storage and revalidated per reader by
+// tuple count — exactly the membership index's lazy-rebuild contract.
 type indexCache struct {
 	mu     sync.Mutex
 	byAttr map[int]indexEntry
+	ord    map[int]orderedEntry
+	// built is true while any entry exists. It lets bump — which runs on
+	// every mutation — skip the mutex entirely for relations that were
+	// never used as an index source, which is most relations during bulk
+	// loads. Reads and writes of the maps themselves stay under mu.
+	built atomic.Bool
 }
 
 func newIndexCache() *indexCache {
-	return &indexCache{byAttr: make(map[int]indexEntry)}
+	return &indexCache{byAttr: make(map[int]indexEntry), ord: make(map[int]orderedEntry)}
 }
 
 // bump invalidates every index.
 func (c *indexCache) bump() {
+	if !c.built.Load() {
+		return
+	}
 	c.mu.Lock()
 	if len(c.byAttr) > 0 {
 		c.byAttr = make(map[int]indexEntry)
 	}
+	if len(c.ord) > 0 {
+		c.ord = make(map[int]orderedEntry)
+	}
+	c.built.Store(false)
 	c.mu.Unlock()
 }
 
@@ -61,11 +89,117 @@ func (r *Relation) LookupEq(i int, v value.Value) []Tuple {
 			e.m[k] = append(e.m[k], t)
 		}
 		c.byAttr[i] = e
+		c.built.Store(true)
 	}
 	return e.m[valueKey(v)]
 }
 
-// IndexedAttrs reports which attributes currently have a built index
+// RangeEnd is one end of a LookupRange scan; a nil *RangeEnd leaves that
+// side unbounded. Open excludes the endpoint value itself (strict
+// comparison).
+type RangeEnd struct {
+	V    value.Value
+	Open bool
+}
+
+// ensureOrdered returns the ordered index for attribute i, building it if
+// absent or built from a different tuple count; callers hold c.mu.
+func (r *Relation) ensureOrdered(i int) orderedEntry {
+	c := r.idx
+	e, ok := c.ord[i]
+	if ok && e.builtLen == len(r.tuples) {
+		return e
+	}
+	sorted := append([]Tuple(nil), r.tuples...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a][i].Compare(sorted[b][i]) < 0 })
+	distinct := 0
+	for k, t := range sorted {
+		if k == 0 || t[i].Compare(sorted[k-1][i]) != 0 {
+			distinct++
+		}
+	}
+	e = orderedEntry{builtLen: len(r.tuples), sorted: sorted, distinct: distinct}
+	c.ord[i] = e
+	c.built.Store(true)
+	return e
+}
+
+// LookupRange returns the tuples whose attribute at index i falls within
+// [lo, hi] (either end may be nil for unbounded, Open for strict), served
+// from a lazily built ordered index by two binary searches. Within the
+// returned run, tuples of equal key keep their original relation order.
+// The slice is shared — callers must not mutate it. Mutating the relation
+// invalidates the index.
+func (r *Relation) LookupRange(i int, lo, hi *RangeEnd) []Tuple {
+	if i < 0 || i >= len(r.Attrs) {
+		return nil
+	}
+	c := r.idx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := r.ensureOrdered(i)
+	s := e.sorted
+	from := 0
+	if lo != nil {
+		from = sort.Search(len(s), func(k int) bool {
+			d := s[k][i].Compare(lo.V)
+			if lo.Open {
+				return d > 0
+			}
+			return d >= 0
+		})
+	}
+	to := len(s)
+	if hi != nil {
+		to = sort.Search(len(s), func(k int) bool {
+			d := s[k][i].Compare(hi.V)
+			if hi.Open {
+				return d >= 0
+			}
+			return d > 0
+		})
+	}
+	if from >= to {
+		return nil
+	}
+	return s[from:to]
+}
+
+// LookupCmp serves the primitive predicate "attr θ v" from a secondary
+// index: equality from the hash index, <, ≤, >, ≥ from the ordered index.
+// It reports ok=false for comparators no contiguous index run can serve
+// (≠, and unknown comparators); callers then fall back to a scan.
+func (r *Relation) LookupCmp(i int, op value.Cmp, v value.Value) ([]Tuple, bool) {
+	switch op {
+	case value.EQ:
+		return r.LookupEq(i, v), true
+	case value.LT:
+		return r.LookupRange(i, nil, &RangeEnd{V: v, Open: true}), true
+	case value.LE:
+		return r.LookupRange(i, nil, &RangeEnd{V: v}), true
+	case value.GT:
+		return r.LookupRange(i, &RangeEnd{V: v, Open: true}, nil), true
+	case value.GE:
+		return r.LookupRange(i, &RangeEnd{V: v}, nil), true
+	default:
+		return nil, false
+	}
+}
+
+// DistinctCount returns the number of distinct values at attribute i,
+// from the ordered index (built on demand). It backs the planner's join
+// cardinality estimates. Out-of-range attributes report 0.
+func (r *Relation) DistinctCount(i int) int {
+	if i < 0 || i >= len(r.Attrs) {
+		return 0
+	}
+	c := r.idx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return r.ensureOrdered(i).distinct
+}
+
+// IndexedAttrs reports which attributes currently have a built hash index
 // (diagnostics and tests).
 func (r *Relation) IndexedAttrs() []int {
 	c := r.idx
@@ -73,6 +207,19 @@ func (r *Relation) IndexedAttrs() []int {
 	defer c.mu.Unlock()
 	out := make([]int, 0, len(c.byAttr))
 	for i := range c.byAttr {
+		out = append(out, i)
+	}
+	return out
+}
+
+// OrderedAttrs reports which attributes currently have a built ordered
+// index (diagnostics and tests).
+func (r *Relation) OrderedAttrs() []int {
+	c := r.idx
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.ord))
+	for i := range c.ord {
 		out = append(out, i)
 	}
 	return out

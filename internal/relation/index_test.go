@@ -2,6 +2,8 @@ package relation
 
 import (
 	"testing"
+
+	"authdb/internal/value"
 )
 
 func TestLookupEq(t *testing.T) {
@@ -55,6 +57,188 @@ func TestIndexInvalidation(t *testing.T) {
 	r.Delete(func(t Tuple) bool { return t[0].AsInt() == 1 })
 	if len(r.LookupEq(0, vi(1))) != 0 {
 		t.Fatal("index not refreshed after delete")
+	}
+}
+
+func TestLookupRange(t *testing.T) {
+	r := New([]string{"A", "B"})
+	for i := int64(0); i < 10; i++ {
+		r.MustInsert(vi(i), vi(i%3))
+	}
+	got := r.LookupRange(0, &RangeEnd{V: vi(3)}, &RangeEnd{V: vi(6), Open: true})
+	if len(got) != 3 {
+		t.Fatalf("[3,6) returned %d tuples, want 3", len(got))
+	}
+	for k, tp := range got {
+		if tp[0].AsInt() != int64(3+k) {
+			t.Fatalf("run out of order: %v", got)
+		}
+	}
+	if got := r.LookupRange(0, nil, nil); len(got) != 10 {
+		t.Fatalf("unbounded range returned %d tuples, want 10", len(got))
+	}
+	if got := r.LookupRange(0, &RangeEnd{V: vi(7), Open: true}, nil); len(got) != 2 {
+		t.Fatalf("(7,+inf) returned %d tuples, want 2", len(got))
+	}
+	if r.LookupRange(-1, nil, nil) != nil || r.LookupRange(5, nil, nil) != nil {
+		t.Fatal("out-of-range attribute must return nil")
+	}
+	if idx := r.OrderedAttrs(); len(idx) != 1 || idx[0] != 0 {
+		t.Fatalf("OrderedAttrs = %v", idx)
+	}
+}
+
+func TestLookupRangeEmpty(t *testing.T) {
+	r := New([]string{"A"})
+	for i := int64(0); i < 5; i++ {
+		r.MustInsert(vi(i))
+	}
+	cases := []struct {
+		lo, hi *RangeEnd
+	}{
+		{&RangeEnd{V: vi(4), Open: true}, nil},              // > max
+		{nil, &RangeEnd{V: vi(0), Open: true}},              // < min
+		{&RangeEnd{V: vi(3)}, &RangeEnd{V: vi(2)}},          // inverted
+		{&RangeEnd{V: vi(2), Open: true}, &RangeEnd{V: vi(3), Open: true}}, // open-open gap
+		{&RangeEnd{V: vi(99)}, nil},                         // beyond domain
+	}
+	for k, c := range cases {
+		if got := r.LookupRange(0, c.lo, c.hi); len(got) != 0 {
+			t.Fatalf("case %d: empty range returned %v", k, got)
+		}
+	}
+	empty := New([]string{"A"})
+	if got := empty.LookupRange(0, nil, nil); len(got) != 0 {
+		t.Fatal("empty relation range must be empty")
+	}
+}
+
+func TestLookupRangeKindBoundary(t *testing.T) {
+	// The total order is kind-major: null < every int < every string.
+	r := New([]string{"A"})
+	r.MustInsert(vi(5))
+	r.MustInsert(vi(100))
+	r.MustInsert(vs("5"))
+	r.MustInsert(vs("abc"))
+	// An int-bounded upper range never captures strings.
+	if got := r.LookupRange(0, nil, &RangeEnd{V: vi(1000)}); len(got) != 2 {
+		t.Fatalf("int range caught strings: %v", got)
+	}
+	// A string-bounded lower range starts above every int.
+	if got := r.LookupRange(0, &RangeEnd{V: vs("")}, nil); len(got) != 2 {
+		t.Fatalf("string range caught ints: %v", got)
+	}
+	// String ordering is lexicographic: "5" > "100" as strings.
+	if got := r.LookupRange(0, &RangeEnd{V: vs("2")}, &RangeEnd{V: vs("6")}); len(got) != 1 || got[0][0].String() != "5" {
+		t.Fatalf("lexicographic string range wrong: %v", got)
+	}
+}
+
+func TestLookupCmp(t *testing.T) {
+	r := New([]string{"A"})
+	for i := int64(0); i < 6; i++ {
+		r.MustInsert(vi(i))
+	}
+	for _, c := range []struct {
+		op   value.Cmp
+		v    int64
+		want int
+	}{
+		{value.EQ, 3, 1},
+		{value.LT, 3, 3},
+		{value.LE, 3, 4},
+		{value.GT, 3, 2},
+		{value.GE, 3, 3},
+	} {
+		got, ok := r.LookupCmp(0, c.op, vi(c.v))
+		if !ok || len(got) != c.want {
+			t.Fatalf("%v %d: got %d ok=%v, want %d", c.op, c.v, len(got), ok, c.want)
+		}
+	}
+	// ≠ has no contiguous run: callers must fall back to a scan.
+	if _, ok := r.LookupCmp(0, value.NE, vi(3)); ok {
+		t.Fatal("NE must not be index-served")
+	}
+}
+
+func TestDistinctCount(t *testing.T) {
+	r := New([]string{"A", "B"})
+	for i := int64(0); i < 12; i++ {
+		r.MustInsert(vi(i), vi(i%4))
+	}
+	if got := r.DistinctCount(0); got != 12 {
+		t.Fatalf("DistinctCount(0) = %d, want 12", got)
+	}
+	if got := r.DistinctCount(1); got != 4 {
+		t.Fatalf("DistinctCount(1) = %d, want 4", got)
+	}
+	if got := r.DistinctCount(-1); got != 0 {
+		t.Fatalf("DistinctCount(-1) = %d, want 0", got)
+	}
+	if got := New([]string{"A"}).DistinctCount(0); got != 0 {
+		t.Fatalf("empty DistinctCount = %d, want 0", got)
+	}
+}
+
+// TestOrderedIndexAppendInterleave pins the lazy-rebuild contract: Append
+// marks indexes stale (it must not eagerly rebuild), and the next lookup
+// — hash or ordered — sees every appended tuple. Run under -race with the
+// concurrent read phase at the end.
+func TestOrderedIndexAppendInterleave(t *testing.T) {
+	r := New([]string{"A"})
+	for i := int64(0); i < 8; i++ {
+		r.Append(Tuple{vi(i)})
+		if got := r.LookupRange(0, &RangeEnd{V: vi(i)}, nil); len(got) != 1 {
+			t.Fatalf("after append %d: range missed the new tuple (%v)", i, got)
+		}
+		if got := r.LookupEq(0, vi(i)); len(got) != 1 {
+			t.Fatalf("after append %d: hash index stale", i)
+		}
+		if got := r.DistinctCount(0); got != int(i)+1 {
+			t.Fatalf("after append %d: DistinctCount = %d", i, got)
+		}
+	}
+	// With the data quiescent, concurrent readers share the built entries.
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for k := 0; k < 50; k++ {
+				if got := r.LookupRange(0, &RangeEnd{V: vi(2)}, &RangeEnd{V: vi(5)}); len(got) != 4 {
+					t.Errorf("concurrent range got %d tuples", len(got))
+					return
+				}
+				if r.DistinctCount(0) != 8 {
+					t.Error("concurrent distinct wrong")
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+func TestOrderedIndexSharedThroughRename(t *testing.T) {
+	r := New([]string{"A"})
+	r.MustInsert(vi(7))
+	q := r.Rename([]string{"X.A"})
+	if len(q.LookupRange(0, &RangeEnd{V: vi(0)}, nil)) != 1 {
+		t.Fatal("renamed view misses shared tuples")
+	}
+	// Same point-in-time contract as the hash index: after a base
+	// mutation, the base must not serve the entry built through the
+	// rename's older snapshot, and the snapshot keeps its own view.
+	r.MustInsert(vi(8))
+	if len(q.LookupRange(0, &RangeEnd{V: vi(0)}, nil)) != 1 {
+		t.Fatal("snapshot lost its own tuples")
+	}
+	if len(r.LookupRange(0, &RangeEnd{V: vi(0)}, nil)) != 2 {
+		t.Fatal("base served a stale ordered index built through the rename snapshot")
+	}
+	if q.DistinctCount(0) != 1 || r.DistinctCount(0) != 2 {
+		t.Fatal("distinct counts must follow each reader's snapshot")
 	}
 }
 
