@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench bench-index benchgo
+.PHONY: check build vet test race fuzz bench bench-index bench-serve benchgo
 
 check: build vet race
 
@@ -33,6 +33,11 @@ bench:
 # The index/pushdown workloads alone.
 bench-index:
 	$(GO) run ./cmd/authdb bench-index
+
+# End-to-end network-server throughput/latency at 1/16/64 concurrent
+# client connections (BENCH_serve.json, cmd/authdb/benchserve.go).
+bench-serve:
+	$(GO) run ./cmd/authdb bench-serve
 
 # Go testing.B micro-benchmarks.
 benchgo:

@@ -31,6 +31,7 @@ import (
 	"authdb/internal/core"
 	"authdb/internal/engine"
 	"authdb/internal/guard"
+	"authdb/internal/metrics"
 	"authdb/internal/relation"
 	"authdb/internal/value"
 )
@@ -243,6 +244,21 @@ func (db *DB) Session(user string) *Session {
 	return &Session{s: db.eng.NewSession(user, false)}
 }
 
+// SessionFor opens a session for user with the given authority; the
+// network server uses it so administrator connections keep their own
+// principal name.
+func (db *DB) SessionFor(user string, admin bool) *Session {
+	return &Session{s: db.eng.NewSession(user, admin)}
+}
+
+// Metrics exposes the process's operational metrics registry (requests
+// by kind, execution latency, masked cells, guard trips, mask-cache and
+// WAL activity); the network server registers its connection gauges on
+// the same registry and serves it at /metrics.
+func (db *DB) Metrics() *metrics.Registry {
+	return db.eng.Metrics()
+}
+
 // Session executes statements on behalf of one principal.
 type Session struct {
 	s *engine.Session
@@ -331,6 +347,33 @@ type Result struct {
 	Denied bool
 }
 
+// Render renders the result exactly as the REPL prints it: the text,
+// then the table followed by its authorization footer (the outcome line
+// or the inferred permit statements). The network server sends the same
+// rendering so every front end shows identical output.
+func (r *Result) Render() string {
+	var b strings.Builder
+	if r.Text != "" {
+		b.WriteString(r.Text)
+		b.WriteByte('\n')
+	}
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+		switch {
+		case r.FullyAuthorized:
+			b.WriteString("(entire answer delivered)\n")
+		case r.Denied:
+			b.WriteString("(no portion of the answer is permitted)\n")
+		default:
+			for _, p := range r.Permits {
+				b.WriteString(p)
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
 func resultOf(r *engine.Result) *Result {
 	out := &Result{Text: r.Text, Table: tableOf(r.Relation)}
 	for _, p := range r.Permits {
@@ -339,6 +382,10 @@ func resultOf(r *engine.Result) *Result {
 	if r.Decision != nil {
 		out.FullyAuthorized = r.Decision.FullyAuthorized
 		out.Denied = r.Decision.Denied
+	} else if r.Relation != nil {
+		// Administrator retrieves bypass the authorizer entirely, so no
+		// decision accompanies them; the whole answer was delivered.
+		out.FullyAuthorized = true
 	}
 	return out
 }
@@ -354,6 +401,18 @@ func (s *Session) Exec(stmt string) (*Result, error) {
 // session's Limits surface as ErrBudgetExceeded.
 func (s *Session) ExecContext(ctx context.Context, stmt string) (*Result, error) {
 	r, err := s.s.ExecContext(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(r), nil
+}
+
+// Dispatch executes one line of input: a statement, or a meta-command
+// shared by every front end (`\stats`, administrator only, which renders
+// the process metrics). The REPL and the network server both route user
+// input through Dispatch so they expose one statement surface.
+func (s *Session) Dispatch(ctx context.Context, input string) (*Result, error) {
+	r, err := s.s.Dispatch(ctx, input)
 	if err != nil {
 		return nil, err
 	}

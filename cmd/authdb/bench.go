@@ -101,10 +101,18 @@ type benchReport struct {
 func benchEngine() (*engine.Engine, error) {
 	e := engine.New(core.DefaultOptions())
 	admin := e.NewSession("admin", true)
-	if _, err := admin.ExecScript(workload.PaperScript); err != nil {
+	if _, err := admin.ExecScript(benchFixtureScript()); err != nil {
 		return nil, err
 	}
+	return e, nil
+}
+
+// benchFixtureScript is the statement script behind benchEngine,
+// shared with the bench-serve harness: the paper fixture scaled with
+// synthetic rows and the grant-heavy view set.
+func benchFixtureScript() string {
 	var b strings.Builder
+	b.WriteString(workload.PaperScript)
 	for i := 0; i < benchEmployees; i++ {
 		fmt.Fprintf(&b, "insert into EMPLOYEE values (e%d, t%d, %d);\n",
 			i, i%benchTitles, 20000+(i*37)%30000)
@@ -137,10 +145,7 @@ func benchEngine() (*engine.Engine, error) {
 				k, u, k, u, k, u)
 		}
 	}
-	if _, err := admin.ExecScript(b.String()); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return b.String()
 }
 
 // benchOp is one (user, query) pair drawn from the paper's examples.

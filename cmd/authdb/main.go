@@ -19,13 +19,19 @@
 //	\admin        switch to the administrator
 //	\load FILE    execute a statement script (admin statements allowed)
 //	\save DIR     export the database (schema, data, views, permits)
+//	\stats        print the metrics registry (administrator only)
 //	\quit         exit
+//
+// Subcommands: `authdb serve` runs the database as a network server
+// (see cmd/authdb/serve.go and DESIGN.md §11); `authdb bench` and
+// `authdb bench-serve` are the measurement harnesses.
 //
 // Everything else is a statement; end statements with ';' or a newline.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,11 +42,17 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "bench" {
-		os.Exit(runBench(os.Args[2:]))
-	}
-	if len(os.Args) > 1 && os.Args[1] == "bench-index" {
-		os.Exit(runBenchIndex(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "bench":
+			os.Exit(runBench(os.Args[2:]))
+		case "bench-index":
+			os.Exit(runBenchIndex(os.Args[2:]))
+		case "bench-serve":
+			os.Exit(runBenchServe(os.Args[2:]))
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
+		}
 	}
 	os.Exit(run())
 }
@@ -101,6 +113,10 @@ func run() int {
 			switch {
 			case trimmed == `\quit` || trimmed == `\q`:
 				return 0
+			case trimmed == `\stats`:
+				// Session.Dispatch owns \stats, exactly as the network
+				// server does — the output is identical in both.
+				exec(session, trimmed)
 			case trimmed == `\admin`:
 				session, who = admin, "admin"
 			case strings.HasPrefix(trimmed, `\user `):
@@ -125,7 +141,7 @@ func run() int {
 					fmt.Println("saved to", dir)
 				}
 			default:
-				fmt.Println(`meta-commands: \user NAME, \admin, \load FILE, \save DIR, \quit`)
+				fmt.Println(`meta-commands: \user NAME, \admin, \load FILE, \save DIR, \stats, \quit`)
 			}
 			pending.Reset()
 			prompt()
@@ -167,30 +183,18 @@ func execFile(admin *authdb.Session, file string) error {
 	return nil
 }
 
+// exec runs one statement (or \stats) through Session.Dispatch and
+// prints Result.Render — the same dispatch and rendering path the
+// network server uses, so both front ends show identical output.
 func exec(session *authdb.Session, stmt string) {
 	stmt = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
 	if stmt == "" {
 		return
 	}
-	res, err := session.Exec(stmt)
+	res, err := session.Dispatch(context.Background(), stmt)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	if res.Text != "" {
-		fmt.Println(res.Text)
-	}
-	if res.Table != nil {
-		fmt.Print(res.Table)
-		switch {
-		case res.FullyAuthorized:
-			fmt.Println("(entire answer delivered)")
-		case res.Denied:
-			fmt.Println("(no portion of the answer is permitted)")
-		default:
-			for _, p := range res.Permits {
-				fmt.Println(p)
-			}
-		}
-	}
+	fmt.Print(res.Render())
 }

@@ -295,6 +295,7 @@ func (e *Engine) logStmt(p parser.Stmt) error {
 		e.dur.broken = err
 		return fmt.Errorf("journaling statement: %w", err)
 	}
+	e.met.Counter("authdb_wal_appends_total").Inc()
 	return nil
 }
 

@@ -18,11 +18,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"authdb/internal/algebra"
 	"authdb/internal/core"
 	"authdb/internal/cview"
 	"authdb/internal/guard"
+	"authdb/internal/metrics"
 	"authdb/internal/parser"
 	"authdb/internal/relation"
 	"authdb/internal/value"
@@ -42,22 +44,31 @@ type Engine struct {
 	// dur is the crash-safe persistence attachment (nil for in-memory
 	// engines); see durable.go.
 	dur *durable
+	// met collects the engine's operational metrics (requests by kind,
+	// execution latency, masked cells, guard trips, WAL appends); the
+	// network server shares it and adds its own series. See observe.go.
+	met *metrics.Registry
 }
 
 // New creates an empty engine with the given authorization options.
 func New(opt core.Options) *Engine {
 	sch := relation.NewDBSchema()
-	return &Engine{
+	e := &Engine{
 		sch:   sch,
 		rels:  make(map[string]*relation.Relation),
 		store: core.NewStore(sch),
 		opt:   opt,
 		masks: core.NewMaskCache(0),
+		met:   metrics.NewRegistry(),
 	}
+	e.registerMetrics()
+	return e
 }
 
 // MaskCacheStats reports the mask cache's hit and miss counts and size.
 func (e *Engine) MaskCacheStats() (hits, misses uint64, size int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.masks.Stats()
 }
 
@@ -196,13 +207,16 @@ func (s *Session) ExecStmt(p parser.Stmt) (*Result, error) {
 
 // ExecStmtContext executes a parsed statement under ctx and the
 // session's limits. A panic anywhere in the execution machinery is
-// recovered and returned as an error: one poisoned statement must not
-// take down a process serving other sessions.
+// recovered and returned as an error (wrapping ErrInternal): one
+// poisoned statement must not take down a process serving other
+// sessions. Every execution is recorded in the engine's metrics.
 func (s *Session) ExecStmtContext(ctx context.Context, p parser.Stmt) (res *Result, err error) {
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("internal error executing statement: %v", r)
+			res, err = nil, fmt.Errorf("%w executing statement: %v", ErrInternal, r)
 		}
+		s.eng.observeExec(stmtKind(p), time.Since(start), res, err)
 	}()
 	if ctx != nil && ctx.Err() != nil {
 		return nil, fmt.Errorf("%w: %v", guard.ErrCanceled, ctx.Err())
@@ -238,7 +252,7 @@ func (s *Session) ExecStmtContext(ctx context.Context, p parser.Stmt) (res *Resu
 
 func (s *Session) requireAdmin(what string) error {
 	if !s.admin {
-		return fmt.Errorf("%s requires an administrator session", what)
+		return fmt.Errorf("%w: %s requires an administrator session", ErrNotAuthorized, what)
 	}
 	return nil
 }
@@ -578,7 +592,7 @@ func (s *Session) authorizeUpdate(rel string, t relation.Tuple) error {
 			}
 		}
 	}
-	return fmt.Errorf("user %s may not modify %s: no permitted view covers the tuple", s.user, rel)
+	return fmt.Errorf("%w: user %s may not modify %s: no permitted view covers the tuple", ErrNotAuthorized, s.user, rel)
 }
 
 // updateCovered checks one membership tuple of a view against the tuple:

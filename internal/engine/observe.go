@@ -1,0 +1,125 @@
+// Observability and the shared statement-dispatch surface. The engine
+// owns a metrics registry; every statement execution is recorded here
+// (requests by kind, latency, masked cells, guard trips — WAL appends
+// are recorded by the durable layer), and Session.Dispatch is the one
+// entry point the REPL and the network server both route input through,
+// so the statement surface (including the `\stats` admin command) stays
+// identical everywhere.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"authdb/internal/guard"
+	"authdb/internal/metrics"
+	"authdb/internal/parser"
+)
+
+// ErrNotAuthorized reports that the session's principal lacks the
+// authority for a statement: an administrator-only statement from a user
+// session, or an update outside every permitted view. Test with
+// errors.Is; the wire protocol maps it to a stable code.
+var ErrNotAuthorized = errors.New("not authorized")
+
+// ErrInternal reports a panic recovered at the session boundary; the
+// statement failed but the engine keeps serving. Test with errors.Is.
+var ErrInternal = errors.New("internal error")
+
+// Metrics exposes the engine's metrics registry; the network server
+// registers its own series (connections, protocol errors) on the same
+// registry so one scrape shows the whole process.
+func (e *Engine) Metrics() *metrics.Registry { return e.met }
+
+// registerMetrics installs the callback series whose values other
+// subsystems already track.
+func (e *Engine) registerMetrics() {
+	e.met.CounterFunc("authdb_mask_cache_hits_total", func() float64 {
+		h, _, _ := e.MaskCacheStats()
+		return float64(h)
+	})
+	e.met.CounterFunc("authdb_mask_cache_misses_total", func() float64 {
+		_, m, _ := e.MaskCacheStats()
+		return float64(m)
+	})
+	e.met.GaugeFunc("authdb_mask_cache_entries", func() float64 {
+		_, _, n := e.MaskCacheStats()
+		return float64(n)
+	})
+}
+
+// stmtKind names a statement for the per-kind request counters.
+func stmtKind(p parser.Stmt) string {
+	switch p := p.(type) {
+	case parser.CreateRelation:
+		return "relation"
+	case parser.Insert:
+		return "insert"
+	case parser.Delete:
+		return "delete"
+	case parser.ViewStmt:
+		return "view"
+	case parser.DropView:
+		return "drop_view"
+	case parser.Permit:
+		return "permit"
+	case parser.Revoke:
+		return "revoke"
+	case parser.Retrieve:
+		if len(p.Aggs) > 0 {
+			return "retrieve_agg"
+		}
+		return "retrieve"
+	case parser.Explain:
+		return "explain"
+	case parser.Show:
+		return "show"
+	default:
+		return "other"
+	}
+}
+
+// observeExec records one statement execution: the request count and
+// latency by kind, delivered vs withheld cells on authorized retrievals,
+// and guard cancellation/budget trips on failures.
+func (e *Engine) observeExec(kind string, d time.Duration, res *Result, err error) {
+	e.met.Counter("authdb_requests_total", "kind", kind).Inc()
+	e.met.Histogram("authdb_exec_seconds", "kind", kind).Observe(d.Seconds())
+	switch {
+	case err == nil:
+		if res != nil && res.Decision != nil {
+			st := res.Decision.Stats
+			e.met.Counter("authdb_cells_delivered_total").Add(int64(st.RevealedCells))
+			e.met.Counter("authdb_cells_withheld_total").Add(int64(st.Cells - st.RevealedCells))
+		}
+	case errors.Is(err, guard.ErrCanceled):
+		e.met.Counter("authdb_guard_canceled_total").Inc()
+	case errors.Is(err, guard.ErrBudgetExceeded):
+		e.met.Counter("authdb_guard_budget_total").Inc()
+	default:
+		e.met.Counter("authdb_exec_errors_total").Inc()
+	}
+}
+
+// Dispatch executes one line of input: a shared meta-command (`\stats`,
+// administrator only) or a statement. The REPL and the network server
+// both route user input through Dispatch so every front end exposes the
+// same surface.
+func (s *Session) Dispatch(ctx context.Context, input string) (*Result, error) {
+	trimmed := strings.TrimSpace(input)
+	if strings.HasPrefix(trimmed, `\`) {
+		switch strings.TrimSpace(strings.TrimSuffix(trimmed, ";")) {
+		case `\stats`:
+			if err := s.requireAdmin(`\stats`); err != nil {
+				return nil, err
+			}
+			return &Result{Text: strings.TrimRight(s.eng.met.Text(), "\n")}, nil
+		default:
+			return nil, fmt.Errorf(`unknown command %s (statements or \stats)`, trimmed)
+		}
+	}
+	return s.ExecContext(ctx, input)
+}

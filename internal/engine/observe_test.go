@@ -1,0 +1,92 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"authdb/internal/engine"
+	"authdb/internal/guard"
+	"authdb/internal/workload"
+)
+
+func TestDispatchStats(t *testing.T) {
+	e := paperEngine(t)
+	admin := e.NewSession("admin", true)
+	user := e.NewSession("Brown", false)
+	ctx := context.Background()
+
+	if _, err := user.Dispatch(ctx, workload.Example1Query); err != nil {
+		t.Fatal(err)
+	}
+	res, err := admin.Dispatch(ctx, `\stats`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`authdb_requests_total{kind="retrieve"}`,
+		`authdb_exec_seconds_count{kind="retrieve"}`,
+		"authdb_cells_delivered_total",
+		"authdb_mask_cache_misses_total",
+	} {
+		if !strings.Contains(res.Text, want) {
+			t.Fatalf("\\stats output missing %q:\n%s", want, res.Text)
+		}
+	}
+
+	// \stats is an administrator command; the shared dispatch enforces it.
+	if _, err := user.Dispatch(ctx, `\stats`); !errors.Is(err, engine.ErrNotAuthorized) {
+		t.Fatalf("user \\stats error = %v, want ErrNotAuthorized", err)
+	}
+	if _, err := admin.Dispatch(ctx, `\bogus`); err == nil {
+		t.Fatal("unknown backslash command accepted")
+	}
+	// Plain statements flow through to Exec.
+	if res, err := admin.Dispatch(ctx, `show relations;`); err != nil || !strings.Contains(res.Text, "EMPLOYEE") {
+		t.Fatalf("dispatch of statement = %v, %v", res, err)
+	}
+}
+
+func TestExecMetricsCounters(t *testing.T) {
+	e := paperEngine(t)
+	user := e.NewSession("Brown", false)
+
+	if _, err := user.Exec(workload.Example1Query); err != nil {
+		t.Fatal(err)
+	}
+	met := e.Metrics()
+	if got := met.Counter("authdb_requests_total", "kind", "retrieve").Value(); got < 1 {
+		t.Fatalf("retrieve counter = %d, want >= 1", got)
+	}
+	delivered := met.Counter("authdb_cells_delivered_total").Value()
+	withheld := met.Counter("authdb_cells_withheld_total").Value()
+	// Example 1 is partially authorized: some cells of both kinds.
+	if delivered == 0 || withheld == 0 {
+		t.Fatalf("cells delivered=%d withheld=%d, want both > 0", delivered, withheld)
+	}
+
+	// A budget trip increments the guard counter.
+	tight := user
+	l := guard.DefaultLimits()
+	l.MaxIntermediateRows = 1
+	tight.SetLimits(l)
+	if _, err := tight.Exec(workload.Example3Query); !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("tight budget error = %v", err)
+	}
+	if got := met.Counter("authdb_guard_budget_total").Value(); got != 1 {
+		t.Fatalf("budget counter = %d, want 1", got)
+	}
+
+	// A canceled context increments the cancel counter.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fresh := e.NewSession("Brown", false)
+	if _, err := fresh.ExecContext(ctx, workload.Example1Query); !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("canceled error = %v", err)
+	}
+	if got := met.Counter("authdb_guard_canceled_total").Value(); got != 1 {
+		t.Fatalf("cancel counter = %d, want 1", got)
+	}
+
+}

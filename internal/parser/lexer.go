@@ -101,7 +101,7 @@ func lex(input string) ([]token, error) {
 			}
 			t := input[start:i]
 			if t == "!" {
-				return nil, fmt.Errorf("pos %d: stray '!'", start)
+				return nil, errf(start, "stray '!'")
 			}
 			toks = append(toks, token{tokCmp, t, start})
 		case c == '"':
@@ -111,7 +111,7 @@ func lex(input string) ([]token, error) {
 				i++
 			}
 			if i >= n {
-				return nil, fmt.Errorf("pos %d: unterminated string", start)
+				return nil, errf(start, "unterminated string")
 			}
 			i++
 			toks = append(toks, token{tokString, input[start+1 : i-1], start})
@@ -154,7 +154,7 @@ func lex(input string) ([]token, error) {
 				}
 				toks = append(toks, token{tokIdent, input[start:i], start})
 			default:
-				return nil, fmt.Errorf("pos %d: unexpected character %q", i, string(r))
+				return nil, errf(i, "unexpected character %q", string(r))
 			}
 		}
 	}

@@ -108,7 +108,7 @@ func (p *parser) next() token {
 func (p *parser) expect(k tokKind, what string) (token, error) {
 	t := p.next()
 	if t.kind != k {
-		return t, fmt.Errorf("pos %d: expected %s, found %s", t.pos, what, t)
+		return t, errf(t.pos, "expected %s, found %s", what, t)
 	}
 	return t, nil
 }
@@ -175,7 +175,7 @@ func (p *parser) statement() (Stmt, error) {
 	case "drop":
 		p.next()
 		if !p.acceptKeyword("view") {
-			return nil, fmt.Errorf("pos %d: expected 'view' after 'drop'", p.peek().pos)
+			return nil, errf(p.peek().pos, "expected 'view' after 'drop'")
 		}
 		name, err := p.expect(tokIdent, "view name")
 		if err != nil {
@@ -194,7 +194,7 @@ func (p *parser) statement() (Stmt, error) {
 	case "explain":
 		p.next()
 		if !p.acceptKeyword("retrieve") {
-			return nil, fmt.Errorf("pos %d: expected 'retrieve' after 'explain'", p.peek().pos)
+			return nil, errf(p.peek().pos, "expected 'retrieve' after 'explain'")
 		}
 		r, err := p.retrieve()
 		if err != nil {
@@ -205,7 +205,7 @@ func (p *parser) statement() (Stmt, error) {
 		p.next()
 		return p.show()
 	default:
-		return nil, fmt.Errorf("pos %d: unknown statement starting with %s", t.pos, t)
+		return nil, errf(t.pos, "unknown statement starting with %s", t)
 	}
 }
 
@@ -251,14 +251,14 @@ func (p *parser) identList() ([]string, error) {
 
 func (p *parser) insert() (Stmt, error) {
 	if !p.acceptKeyword("into") {
-		return nil, fmt.Errorf("pos %d: expected 'into' after 'insert'", p.peek().pos)
+		return nil, errf(p.peek().pos, "expected 'into' after 'insert'")
 	}
 	rel, err := p.expect(tokIdent, "relation name")
 	if err != nil {
 		return nil, err
 	}
 	if !p.acceptKeyword("values") {
-		return nil, fmt.Errorf("pos %d: expected 'values'", p.peek().pos)
+		return nil, errf(p.peek().pos, "expected 'values'")
 	}
 	if _, err := p.expect(tokLParen, "'('"); err != nil {
 		return nil, err
@@ -281,7 +281,7 @@ func (p *parser) insert() (Stmt, error) {
 
 func (p *parser) delete() (Stmt, error) {
 	if !p.acceptKeyword("from") {
-		return nil, fmt.Errorf("pos %d: expected 'from' after 'delete'", p.peek().pos)
+		return nil, errf(p.peek().pos, "expected 'from' after 'delete'")
 	}
 	rel, err := p.expect(tokIdent, "relation name")
 	if err != nil {
@@ -314,7 +314,7 @@ func (p *parser) condsIn(rel string) ([]cview.Cond, error) {
 		}
 		op, ok := value.ParseCmp(opTok.text)
 		if !ok {
-			return nil, fmt.Errorf("pos %d: bad comparator %q", opTok.pos, opTok.text)
+			return nil, errf(opTok.pos, "bad comparator %q", opTok.text)
 		}
 		r, err := p.termIn(rel)
 		if err != nil {
@@ -491,7 +491,7 @@ func (p *parser) cond() (cview.Cond, error) {
 	}
 	op, ok := value.ParseCmp(opTok.text)
 	if !ok {
-		return cview.Cond{}, fmt.Errorf("pos %d: bad comparator %q", opTok.pos, opTok.text)
+		return cview.Cond{}, errf(opTok.pos, "bad comparator %q", opTok.text)
 	}
 	r, err := p.term()
 	if err != nil {
@@ -554,7 +554,7 @@ func (p *parser) constant() (value.Value, error) {
 	case tokNumber:
 		i, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return value.Value{}, fmt.Errorf("pos %d: bad number %q", t.pos, t.text)
+			return value.Value{}, errf(t.pos, "bad number %q", t.text)
 		}
 		return value.Int(i), nil
 	case tokString:
@@ -562,7 +562,7 @@ func (p *parser) constant() (value.Value, error) {
 	case tokIdent:
 		return value.String(t.text), nil
 	default:
-		return value.Value{}, fmt.Errorf("pos %d: expected a constant, found %s", t.pos, t)
+		return value.Value{}, errf(t.pos, "expected a constant, found %s", t)
 	}
 }
 
@@ -572,7 +572,7 @@ func (p *parser) permit() (Stmt, error) {
 		return nil, err
 	}
 	if !p.acceptKeyword("to") {
-		return nil, fmt.Errorf("pos %d: expected 'to'", p.peek().pos)
+		return nil, errf(p.peek().pos, "expected 'to'")
 	}
 	user, err := p.expect(tokIdent, "user name")
 	if err != nil {
@@ -587,7 +587,7 @@ func (p *parser) revoke() (Stmt, error) {
 		return nil, err
 	}
 	if !p.acceptKeyword("from") {
-		return nil, fmt.Errorf("pos %d: expected 'from'", p.peek().pos)
+		return nil, errf(p.peek().pos, "expected 'from'")
 	}
 	user, err := p.expect(tokIdent, "user name")
 	if err != nil {

@@ -19,7 +19,7 @@ type StmtPos struct {
 func ParseProgramPos(input string) ([]StmtPos, error) {
 	toks, err := lex(input)
 	if err != nil {
-		return nil, err
+		return nil, resolvePos(err, input)
 	}
 	p := &parser{toks: toks}
 	var out []StmtPos
@@ -43,11 +43,11 @@ func ParseProgramPos(input string) ([]StmtPos, error) {
 		}
 		s, err := p.statement()
 		if err != nil {
-			return nil, err
+			return nil, resolvePos(err, input)
 		}
 		out = append(out, StmtPos{Stmt: s, Line: line})
 		if p.peek().kind != tokEOF && !p.accept(tokSemi) {
-			return nil, fmt.Errorf("pos %d: expected ';' between statements, found %s", p.peek().pos, p.peek())
+			return nil, resolvePos(errf(p.peek().pos, "expected ';' between statements, found %s", p.peek()), input)
 		}
 	}
 }

@@ -1,0 +1,159 @@
+// Package wire defines the network protocol shared by the server
+// (internal/server) and the Go client (pkg/client): length-prefixed JSON
+// frames carrying an authentication handshake followed by
+// request/response pairs, plus the mapping from engine errors to stable
+// machine-readable codes.
+//
+// Framing is deliberately dumb, mirroring the WAL's record format:
+//
+//	uint32le payload length | payload (JSON)
+//
+// A frame larger than the agreed maximum is a protocol error and closes
+// the connection. Within one connection, requests execute strictly in
+// order and every request produces exactly one response carrying the
+// request's ID.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProtoVersion identifies the protocol; the handshake rejects mismatches
+// so both sides fail loudly instead of mis-parsing frames.
+const ProtoVersion = 1
+
+// MaxFrame bounds one frame's payload (requests and responses): larger
+// length words are treated as a protocol error rather than allocated.
+const MaxFrame = 16 << 20
+
+// WriteFrame writes one length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed payload, failing on frames larger
+// than MaxFrame.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// WriteMsg marshals v and writes it as one frame.
+func WriteMsg(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, payload)
+}
+
+// ReadMsg reads one frame and unmarshals it into v.
+func ReadMsg(r *bufio.Reader, v any) error {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}
+
+// Hello opens a connection: the client announces the protocol version
+// and authenticates as a principal. Administrator sessions additionally
+// present the server's admin token when one is configured.
+type Hello struct {
+	Proto int    `json:"proto"`
+	User  string `json:"user"`
+	Admin bool   `json:"admin,omitempty"`
+	Token string `json:"token,omitempty"`
+}
+
+// HelloReply acknowledges (or rejects) the handshake.
+type HelloReply struct {
+	OK     bool   `json:"ok"`
+	Server string `json:"server,omitempty"`
+	Error  *Error `json:"error,omitempty"`
+}
+
+// Request is one statement (or shared meta-command, e.g. `\stats`) to
+// execute under the connection's principal.
+type Request struct {
+	// ID is echoed in the response; the client uses it to pair them.
+	ID uint64 `json:"id"`
+	// Stmt is the statement text.
+	Stmt string `json:"stmt"`
+	// TimeoutMS, when positive, bounds this request's execution; the
+	// server composes it with (never extends) its configured limits.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Table is a delivered relation: display column names and rendered cell
+// values, withheld cells as "-" — the same canonical rendering the REPL
+// prints.
+type Table struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Response answers one request: the rendered result (what the REPL
+// would print), the structured pieces for programmatic use, or a coded
+// error.
+type Response struct {
+	ID uint64 `json:"id"`
+	// Text carries acknowledgements and show/meta-command output.
+	Text string `json:"text,omitempty"`
+	// Rendered is the complete human-readable result, identical to the
+	// REPL's output for the same statement.
+	Rendered string `json:"rendered,omitempty"`
+	// Table is the delivered relation of a retrieve.
+	Table *Table `json:"table,omitempty"`
+	// Permits are the inferred permit statements accompanying a
+	// partially delivered answer.
+	Permits []string `json:"permits,omitempty"`
+	// FullyAuthorized and Denied classify a retrieve's outcome.
+	FullyAuthorized bool `json:"fully_authorized,omitempty"`
+	Denied          bool `json:"denied,omitempty"`
+	// Error is set instead of the result fields when execution failed.
+	Error *Error `json:"error,omitempty"`
+}
+
+// Error is a structured statement failure. Code is stable and
+// machine-readable; Retryable tells clients whether the same request
+// could succeed later (canceled/timed out work, a draining server)
+// as opposed to deterministic failures (parse errors, budget, denial).
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Line and Col locate parse errors (1-based; zero otherwise).
+	Line int `json:"line,omitempty"`
+	Col  int `json:"col,omitempty"`
+	// Retryable reports the failure is transient.
+	Retryable bool `json:"retryable,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}

@@ -1,0 +1,274 @@
+// Package client is the Go client for the authdb network server: it
+// dials the wire protocol (internal/wire), authenticates as a
+// principal, and executes statements with per-call contexts. The
+// server's own end-to-end tests drive it.
+//
+// A Client owns one TCP connection and serializes calls on it (the
+// protocol is strictly request/response). When the connection breaks —
+// a server restart, an idle-timeout close, a network blip — the next
+// Exec transparently reconnects and retries once. Retried statements
+// are therefore at-least-once: a mutation whose response was lost may
+// be applied twice (inserts of duplicate tuples are ignored by the
+// engine, so the common case is benign); callers needing exactly-once
+// semantics should disable retry by canceling the context on first
+// failure and re-checking state.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"authdb/internal/wire"
+)
+
+// ErrClosed reports an Exec on a Close()d client.
+var ErrClosed = errors.New("client: closed")
+
+// ServerError is a structured statement failure from the server. Branch
+// on Code (see internal/wire for the inventory: PARSE, CANCELED,
+// BUDGET_EXCEEDED, NOT_AUTHORIZED, SHUTTING_DOWN, EXEC, …), never on
+// message text; Retryable reports whether the same request could
+// succeed later.
+type ServerError struct {
+	Code      string
+	Message   string
+	Line, Col int
+	Retryable bool
+}
+
+// Error renders "CODE: message".
+func (e *ServerError) Error() string { return e.Code + ": " + e.Message }
+
+func serverError(we *wire.Error) *ServerError {
+	return &ServerError{Code: we.Code, Message: we.Message,
+		Line: we.Line, Col: we.Col, Retryable: we.Retryable}
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Text carries acknowledgements and show/meta-command output.
+	Text string
+	// Rendered is the complete human-readable result, byte-identical to
+	// what the REPL prints for the same statement.
+	Rendered string
+	// Columns and Rows carry the delivered relation of a retrieve
+	// (rendered cell values, withheld cells as "-"); nil otherwise.
+	Columns []string
+	Rows    [][]string
+	// Permits are the inferred permit statements of a partial answer.
+	Permits []string
+	// FullyAuthorized and Denied classify a retrieve's outcome.
+	FullyAuthorized bool
+	Denied          bool
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithUser authenticates as the given (non-administrator) principal.
+func WithUser(name string) Option {
+	return func(c *Client) { c.user, c.admin = name, false }
+}
+
+// WithAdmin authenticates as an administrator named user, presenting
+// token (required when the server is configured with one).
+func WithAdmin(user, token string) Option {
+	return func(c *Client) { c.user, c.admin, c.token = user, true, token }
+}
+
+// WithDialTimeout bounds connection establishment and the handshake
+// (default 10s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// Client is a connection to an authdb server on behalf of one
+// principal. Methods are safe for concurrent use; calls are serialized
+// on the single underlying connection — open one client per goroutine
+// for parallelism, exactly like sessions.
+type Client struct {
+	addr        string
+	user        string
+	admin       bool
+	token       string
+	dialTimeout time.Duration
+
+	mu     sync.Mutex
+	nc     net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint64
+	closed bool
+}
+
+// Dial connects to addr and authenticates. The default principal is the
+// non-administrator "guest"; set one with WithUser or WithAdmin.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{addr: addr, user: "guest", dialTimeout: 10 * time.Second}
+	for _, o := range opts {
+		o(c)
+	}
+	if err := c.connect(context.Background()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect dials and runs the handshake; callers hold c.mu (or own c
+// exclusively, as in Dial).
+func (c *Client) connect(ctx context.Context) error {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	nc.SetDeadline(time.Now().Add(c.dialTimeout))
+	br, bw := bufio.NewReader(nc), bufio.NewWriterSize(nc, 4096)
+	if err := wire.WriteMsg(bw, wire.Hello{
+		Proto: wire.ProtoVersion, User: c.user, Admin: c.admin, Token: c.token,
+	}); err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		nc.Close()
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	var reply wire.HelloReply
+	if err := wire.ReadMsg(br, &reply); err != nil {
+		nc.Close()
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	if !reply.OK {
+		nc.Close()
+		if reply.Error != nil {
+			return serverError(reply.Error)
+		}
+		return errors.New("client: handshake rejected")
+	}
+	nc.SetDeadline(time.Time{})
+	c.nc, c.br, c.bw = nc, br, bw
+	return nil
+}
+
+// Exec executes one statement (or the `\stats` meta-command) under ctx:
+// the context's deadline rides the request so the server cancels
+// server-side too, and cancellation unblocks the network wait. On a
+// broken connection Exec reconnects and retries once; server-answered
+// failures return a *ServerError and are never retried.
+func (c *Client) Exec(ctx context.Context, stmt string) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if ctx.Err() != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, ctx.Err()
+		}
+		if c.nc == nil {
+			if err := c.connect(ctx); err != nil {
+				var se *ServerError
+				if errors.As(err, &se) {
+					return nil, err // rejected handshake: retry won't help
+				}
+				lastErr = err
+				continue
+			}
+		}
+		res, err := c.roundTrip(ctx, stmt)
+		if err == nil {
+			return res, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			return nil, err // the server answered; the connection is fine
+		}
+		// Transport failure: drop the connection, maybe retry.
+		c.nc.Close()
+		c.nc = nil
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// roundTrip writes one request and reads its response; callers hold
+// c.mu and guarantee c.nc != nil.
+func (c *Client) roundTrip(ctx context.Context, stmt string) (*Result, error) {
+	c.nextID++
+	nc := c.nc
+	req := wire.Request{ID: c.nextID, Stmt: stmt}
+	if dl, ok := ctx.Deadline(); ok {
+		nc.SetDeadline(dl)
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.TimeoutMS = ms
+		} else {
+			req.TimeoutMS = 1
+		}
+	} else {
+		nc.SetDeadline(time.Time{})
+	}
+	// A context canceled mid-wait unblocks the read by expiring the
+	// connection deadline. SetDeadline on a conn the caller has since
+	// closed is a harmless error, so the watcher needs no further
+	// synchronization.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			nc.SetDeadline(time.Unix(1, 0))
+		case <-stop:
+		}
+	}()
+
+	if err := wire.WriteMsg(c.bw, req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	var resp wire.Response
+	if err := wire.ReadMsg(c.br, &resp); err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != nil {
+		return nil, serverError(resp.Error)
+	}
+	res := &Result{
+		Text:            resp.Text,
+		Rendered:        resp.Rendered,
+		Permits:         resp.Permits,
+		FullyAuthorized: resp.FullyAuthorized,
+		Denied:          resp.Denied,
+	}
+	if resp.Table != nil {
+		res.Columns = resp.Table.Columns
+		res.Rows = resp.Table.Rows
+	}
+	return res, nil
+}
+
+// Close closes the connection; further Execs fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.nc == nil {
+		return nil
+	}
+	err := c.nc.Close()
+	c.nc = nil
+	return err
+}
