@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench bench-index bench-serve benchgo
+.PHONY: check build vet test race fuzz fuzz-wire bench bench-index bench-serve bench-replica benchgo
 
 check: build vet race
 
@@ -23,6 +23,11 @@ race:
 fuzz:
 	$(GO) test ./internal/engine -fuzz FuzzSessionExec -fuzztime 30s
 
+# Fuzz the wire-protocol decoder (seeded with every message type,
+# replication kinds included, plus malformed frames).
+fuzz-wire:
+	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 30s
+
 # Reproducible throughput/latency harnesses: concurrent masked retrieval
 # (BENCH_parallel.json, cmd/authdb/bench.go) and index-accelerated
 # evaluation (BENCH_index.json, cmd/authdb/bench_index.go).
@@ -35,9 +40,16 @@ bench-index:
 	$(GO) run ./cmd/authdb bench-index
 
 # End-to-end network-server throughput/latency at 1/16/64 concurrent
-# client connections (BENCH_serve.json, cmd/authdb/benchserve.go).
+# client connections, reads plus durable writes with and without group
+# commit (BENCH_serve.json, cmd/authdb/benchserve.go).
 bench-serve:
 	$(GO) run ./cmd/authdb bench-serve
+
+# Replicated read scaling: masked-read qps against 0/2/4 replicas
+# under a steady primary write load, with observed replication lag
+# (BENCH_replica.json, cmd/authdb/benchreplica.go).
+bench-replica:
+	$(GO) run ./cmd/authdb bench-replica
 
 # Go testing.B micro-benchmarks.
 benchgo:

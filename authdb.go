@@ -259,6 +259,17 @@ func (db *DB) Metrics() *metrics.Registry {
 	return db.eng.Metrics()
 }
 
+// Engine exposes the underlying engine for in-process subsystems (the
+// network server's replication hub, the replica applier). Not part of
+// the stable embedding surface.
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// SetGroupCommit switches the durable layer between one-fsync-per-
+// statement journaling (off, the default) and group commit (on):
+// concurrent writers share one fsync. Results are identical; servers
+// turn it on for throughput.
+func (db *DB) SetGroupCommit(on bool) { db.eng.SetGroupCommit(on) }
+
 // Session executes statements on behalf of one principal.
 type Session struct {
 	s *engine.Session
@@ -272,6 +283,14 @@ func (s *Session) User() string { return s.s.User() }
 // chaining. Not safe concurrently with executions on the same session.
 func (s *Session) SetLimits(l Limits) *Session {
 	s.s.SetLimits(l.internal())
+	return s
+}
+
+// SetReadOnly makes the session reject mutating statements with
+// engine.ErrReadOnly; replicas serve every connection read-only. It
+// returns the session for chaining.
+func (s *Session) SetReadOnly(on bool) *Session {
+	s.s.SetReadOnly(on)
 	return s
 }
 

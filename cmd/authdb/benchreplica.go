@@ -1,0 +1,365 @@
+package main
+
+// The bench-replica subcommand: read scaling and replication lag of the
+// WAL-shipping topology (DESIGN.md §12). For each replica count it
+// boots a durable primary with the scaled paper fixture, attaches that
+// many replicas (each a full engine in its own directory, following
+// over loopback TCP), waits for them to catch up, then drives the
+// worked-example read mix round-robin across every node while one admin
+// connection writes continuously to the primary. Reported per level:
+// aggregate read throughput (the scaling curve), the primary/replica
+// split, write throughput, and the replicas' steady-state lag sampled
+// through the same Lag() the /metrics gauges export.
+//
+//	authdb bench-replica [-dur 2s] [-o BENCH_replica.json] [-replicas 0,2,4] [-conns 12] [-write-rate 25]
+//
+// All nodes share one machine, so the aggregate cannot exceed the
+// host's CPU; the level comparison shows the cost of the topology
+// (extra engines, WAL application, fsync traffic) and the lag under a
+// fixed write load. On separate hosts each replica adds its own cores
+// and the aggregate curve becomes the scaling curve.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authdb"
+	"authdb/internal/replica"
+	"authdb/internal/server"
+	"authdb/pkg/client"
+)
+
+const benchReplToken = "bench-replica-token"
+
+type replicaLevel struct {
+	Replicas  int   `json:"replicas"`
+	ReadConns int   `json:"read_conns"`
+	ReadOps   int64 `json:"read_ops"`
+	Errors    int64 `json:"errors"`
+	// ReadQPS is the aggregate across all nodes; PrimaryQPS and
+	// ReplicaQPS split it by where the connection landed.
+	ReadQPS    float64 `json:"read_qps"`
+	PrimaryQPS float64 `json:"primary_read_qps"`
+	ReplicaQPS float64 `json:"replica_read_qps"`
+	P50Micros  float64 `json:"p50_us"`
+	P95Micros  float64 `json:"p95_us"`
+	P99Micros  float64 `json:"p99_us"`
+	// The concurrent write load on the primary and the lag it induced.
+	WriteOps      int64   `json:"write_ops"`
+	WriteQPS      float64 `json:"write_qps"`
+	MaxLagLSNs    uint64  `json:"max_lag_lsns"`
+	MeanLagLSNs   float64 `json:"mean_lag_lsns"`
+	MaxLagSeconds float64 `json:"max_lag_seconds"`
+}
+
+type replicaReport struct {
+	Generated  string         `json:"generated"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	DurationMS int64          `json:"duration_ms_per_level"`
+	WriteRate  int            `json:"write_rate_per_sec"`
+	Rows       map[string]int `json:"rows"`
+	Queries    []string       `json:"queries"`
+	Levels     []replicaLevel `json:"levels"`
+}
+
+// replNode is one booted node: the primary (rep == nil) or a follower.
+type replNode struct {
+	dir string
+	db  *authdb.DB
+	rep *replica.Replica
+	srv *server.Server
+}
+
+func (n *replNode) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if n.srv != nil {
+		n.srv.Shutdown(ctx)
+	}
+	if n.rep != nil {
+		n.rep.Stop(ctx)
+	}
+	if n.db != nil {
+		n.db.Close()
+	}
+	if n.dir != "" {
+		os.RemoveAll(n.dir)
+	}
+}
+
+// bootNode opens a durable database in a fresh directory and serves it;
+// with primary != "" it follows that address read-only.
+func bootNode(primary string) (*replNode, error) {
+	dir, err := os.MkdirTemp("", "authdb-bench-replica-*")
+	if err != nil {
+		return nil, err
+	}
+	n := &replNode{dir: dir}
+	if n.db, err = authdb.OpenDir(dir); err != nil {
+		n.close()
+		return nil, err
+	}
+	n.db.SetGroupCommit(true)
+	if primary != "" {
+		n.rep = replica.Start(n.db.Engine(), replica.Config{
+			Primary: primary, Token: benchReplToken,
+		})
+	}
+	n.srv = server.New(n.db, server.Config{
+		MaxConns:        1024,
+		AdminToken:      benchReplToken,
+		ReadOnlyPrimary: primary,
+		Limits:          authdb.DefaultLimits(),
+	})
+	if err := n.srv.Start(); err != nil {
+		n.close()
+		return nil, err
+	}
+	return n, nil
+}
+
+func runBenchReplica(args []string) int {
+	fs := flag.NewFlagSet("bench-replica", flag.ExitOnError)
+	dur := fs.Duration("dur", 2*time.Second, "measurement duration per replica level")
+	out := fs.String("o", "BENCH_replica.json", "output JSON file")
+	levels := fs.String("replicas", "0,2,4", "comma-separated replica counts")
+	conns := fs.Int("conns", 12, "total read connections, spread across all nodes")
+	writeRate := fs.Int("write-rate", 25, "steady primary write load, statements per second")
+	fs.Parse(args)
+
+	report := replicaReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		DurationMS: dur.Milliseconds(),
+		WriteRate:  *writeRate,
+		Rows: map[string]int{
+			"EMPLOYEE":   benchEmployees,
+			"PROJECT":    benchProjects,
+			"ASSIGNMENT": benchAssignments,
+		},
+	}
+	for _, op := range benchOps {
+		report.Queries = append(report.Queries, op.user+": "+op.query)
+	}
+
+	for _, field := range strings.Split(*levels, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "bad replica count %q\n", field)
+			return 1
+		}
+		lvl, err := runReplicaLevel(n, *conns, *writeRate, *dur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("replicas=%d read_qps=%9.1f (primary %.1f + replicas %.1f) p50=%6.0fµs p99=%6.0fµs write_qps=%7.1f lag(max=%d lsns, %.3fs)\n",
+			lvl.Replicas, lvl.ReadQPS, lvl.PrimaryQPS, lvl.ReplicaQPS,
+			lvl.P50Micros, lvl.P99Micros, lvl.WriteQPS, lvl.MaxLagLSNs, lvl.MaxLagSeconds)
+		report.Levels = append(report.Levels, lvl)
+	}
+
+	blob, _ := json.MarshalIndent(report, "", "  ")
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println("wrote", *out)
+	return 0
+}
+
+// runReplicaLevel boots one primary + nrep replicas, waits for
+// catch-up, and measures the read mix across every node under a
+// steady primary write load. The write load is rate-limited, not
+// saturating: every level then faces the identical stream of
+// exclusive-lock acquisitions (on the primary directly, on replicas
+// through the applier), so the read numbers compare scaling rather
+// than write-convoy interference, and the lag numbers reflect a
+// realistic trickle of small batches.
+func runReplicaLevel(nrep, conns, writeRate int, dur time.Duration) (replicaLevel, error) {
+	primary, err := bootNode("")
+	if err != nil {
+		return replicaLevel{}, err
+	}
+	defer primary.close()
+	fixture := benchFixtureScript() + "relation FEED (K, V) key (K);\n"
+	if _, err := primary.db.Admin().ExecScript(fixture); err != nil {
+		return replicaLevel{}, fmt.Errorf("fixture: %w", err)
+	}
+	paddr := primary.srv.Addr().String()
+
+	replicas := make([]*replNode, 0, nrep)
+	defer func() {
+		for _, r := range replicas {
+			r.close()
+		}
+	}()
+	for i := 0; i < nrep; i++ {
+		r, err := bootNode(paddr)
+		if err != nil {
+			return replicaLevel{}, fmt.Errorf("replica %d: %w", i, err)
+		}
+		replicas = append(replicas, r)
+	}
+	// Catch-up barrier: every replica holds the primary's full history.
+	want := primary.db.Engine().LSN()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, r := range replicas {
+		for r.db.Engine().LSN() < want {
+			if time.Now().After(deadline) {
+				return replicaLevel{}, fmt.Errorf("replica stuck at lsn %d of %d", r.db.Engine().LSN(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// One read connection per worker, round-robin across all nodes.
+	addrs := []string{paddr}
+	for _, r := range replicas {
+		addrs = append(addrs, r.srv.Addr().String())
+	}
+	clients := make([]*client.Client, conns)
+	onPrimary := make([]bool, conns)
+	for i := range clients {
+		addr := addrs[i%len(addrs)]
+		onPrimary[i] = addr == paddr
+		c, err := client.Dial(addr, client.WithUser(benchOps[i%len(benchOps)].user))
+		if err != nil {
+			return replicaLevel{}, fmt.Errorf("dial reader %d: %w", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	writer, err := client.Dial(paddr, client.WithAdmin("admin", benchReplToken))
+	if err != nil {
+		return replicaLevel{}, fmt.Errorf("dial writer: %w", err)
+	}
+	defer writer.Close()
+
+	var (
+		wg          sync.WaitGroup
+		errs        atomic.Int64
+		primaryOps  atomic.Int64
+		writeOps    atomic.Int64
+		maxLagLSNs  uint64
+		maxLagSecs  float64
+		lagSum      float64
+		lagSamples  int
+		stopSampler = make(chan struct{})
+	)
+	lats := make([][]time.Duration, conns)
+	start := time.Now()
+	measureEnd := start.Add(dur)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			for j := 0; time.Now().Before(measureEnd); j++ {
+				t0 := time.Now()
+				if _, err := c.Exec(context.Background(), benchOps[j%len(benchOps)].query); err != nil {
+					errs.Add(1)
+					continue
+				}
+				lats[i] = append(lats[i], time.Since(t0))
+				if onPrimary[i] {
+					primaryOps.Add(1)
+				}
+			}
+		}(i, c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		interval := time.Second
+		if writeRate > 0 {
+			interval = time.Second / time.Duration(writeRate)
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for j := 0; time.Now().Before(measureEnd); j++ {
+			stmt := fmt.Sprintf("insert into FEED values (f%d, v)", j)
+			if _, err := writer.Exec(context.Background(), stmt); err != nil {
+				errs.Add(1)
+			} else {
+				writeOps.Add(1)
+			}
+			select {
+			case <-tick.C:
+			case <-time.After(time.Until(measureEnd)):
+				return
+			}
+		}
+	}()
+	// The lag sampler reads each in-process replica's Lag() — the same
+	// numbers the gauges export — every 20ms during the run.
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-tick.C:
+				for _, r := range replicas {
+					lsns, secs := r.rep.Lag()
+					if lsns > maxLagLSNs {
+						maxLagLSNs = lsns
+					}
+					if secs > maxLagSecs {
+						maxLagSecs = secs
+					}
+					lagSum += float64(lsns)
+					lagSamples++
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopSampler)
+	<-samplerDone
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(p*float64(len(all)-1))].Microseconds())
+	}
+	lvl := replicaLevel{
+		Replicas:   nrep,
+		ReadConns:  conns,
+		ReadOps:    int64(len(all)),
+		Errors:     errs.Load(),
+		ReadQPS:    float64(len(all)) / elapsed.Seconds(),
+		PrimaryQPS: float64(primaryOps.Load()) / elapsed.Seconds(),
+		P50Micros:  pct(0.50),
+		P95Micros:  pct(0.95),
+		P99Micros:  pct(0.99),
+		WriteOps:   writeOps.Load(),
+		WriteQPS:   float64(writeOps.Load()) / elapsed.Seconds(),
+		MaxLagLSNs: maxLagLSNs,
+	}
+	lvl.ReplicaQPS = lvl.ReadQPS - lvl.PrimaryQPS
+	lvl.MaxLagSeconds = maxLagSecs
+	if lagSamples > 0 {
+		lvl.MeanLagLSNs = lagSum / float64(lagSamples)
+	}
+	return lvl, nil
+}

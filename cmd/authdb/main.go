@@ -50,6 +50,8 @@ func main() {
 			os.Exit(runBenchIndex(os.Args[2:]))
 		case "bench-serve":
 			os.Exit(runBenchServe(os.Args[2:]))
+		case "bench-replica":
+			os.Exit(runBenchReplica(os.Args[2:]))
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
 		}

@@ -10,6 +10,13 @@ package main
 //	             [-paper] [-load FILE] [-max-conns N] [-idle-timeout D]
 //	             [-grace D] [-admin-token T] [-max-intermediate-rows N]
 //	             [-max-result-rows N] [-stmt-timeout D] [-parallelism N]
+//	             [-group-commit] [-replica-of HOST:PORT] [-primary-token T]
+//	             [-repl-name NAME]
+//
+// With -replica-of, this node follows the named primary (DESIGN.md §12):
+// it bootstraps from the primary's snapshot or WAL tail, applies the
+// live statement stream, and serves read-only masked answers; writes are
+// refused with READ_ONLY naming the primary.
 
 import (
 	"context"
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"authdb"
+	"authdb/internal/replica"
 	"authdb/internal/server"
 	"authdb/internal/workload"
 )
@@ -41,7 +49,18 @@ func runServe(args []string) int {
 	maxResult := fs.Int64("max-result-rows", def.MaxResultRows, "per-statement result-row cap (0: unlimited)")
 	stmtTimeout := fs.Duration("stmt-timeout", def.Timeout, "per-statement wall-clock bound (0: unlimited)")
 	parallelism := fs.Int("parallelism", def.Parallelism, "intra-statement evaluation workers per connection")
+	groupCommit := fs.Bool("group-commit", false, "batch concurrent WAL appends into one fsync")
+	replicaOf := fs.String("replica-of", "", "follow this primary and serve read-only (empty: standalone)")
+	primaryToken := fs.String("primary-token", "", "replication token presented to the primary (its admin token)")
+	replName := fs.String("repl-name", "", "label for this follower in the primary's metrics")
 	fs.Parse(args)
+
+	if *replicaOf != "" && (*paper || *load != "") {
+		// Local mutations on a replica would shift its LSN sequence away
+		// from the primary's and corrupt the stream position.
+		fmt.Fprintln(os.Stderr, "-replica-of is incompatible with -paper and -load: replicas take every statement from the primary")
+		return 1
+	}
 
 	var db *authdb.DB
 	if *dbdir != "" {
@@ -56,6 +75,23 @@ func runServe(args []string) int {
 		db = authdb.Open()
 	}
 	defer db.Close()
+	if *groupCommit {
+		db.SetGroupCommit(true)
+		fmt.Println("group commit enabled")
+	}
+
+	var rep *replica.Replica
+	if *replicaOf != "" {
+		rep = replica.Start(db.Engine(), replica.Config{
+			Primary: *replicaOf,
+			Token:   *primaryToken,
+			Name:    *replName,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		fmt.Printf("following primary %s (read-only)\n", *replicaOf)
+	}
 
 	admin := db.Admin()
 	if *paper {
@@ -71,12 +107,13 @@ func runServe(args []string) int {
 	}
 
 	srv := server.New(db, server.Config{
-		Addr:        *addr,
-		MetricsAddr: *metricsAddr,
-		MaxConns:    *maxConns,
-		IdleTimeout: *idle,
-		Grace:       *grace,
-		AdminToken:  *token,
+		Addr:            *addr,
+		MetricsAddr:     *metricsAddr,
+		MaxConns:        *maxConns,
+		IdleTimeout:     *idle,
+		Grace:           *grace,
+		AdminToken:      *token,
+		ReadOnlyPrimary: *replicaOf,
 		Limits: authdb.Limits{
 			MaxIntermediateRows: *maxInter,
 			MaxResultRows:       *maxResult,
@@ -102,6 +139,12 @@ func runServe(args []string) int {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "shutdown:", err)
 		return 1
+	}
+	if rep != nil {
+		if err := rep.Stop(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "stopping replication:", err)
+			return 1
+		}
 	}
 	fmt.Println("drained")
 	return 0

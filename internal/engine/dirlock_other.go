@@ -1,0 +1,9 @@
+//go:build !unix
+
+package engine
+
+import "os"
+
+// flockExclusive is a no-op where BSD flock is unavailable; the lock
+// degrades to an advisory marker file and double-opens are not refused.
+func flockExclusive(f *os.File) error { return nil }

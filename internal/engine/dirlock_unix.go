@@ -1,0 +1,16 @@
+//go:build unix
+
+package engine
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive flock on f. BSD flock
+// attaches to the open file description, so a second open of the LOCK
+// file conflicts even from within the same process — which is exactly
+// the double-open the lock exists to refuse.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

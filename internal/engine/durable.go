@@ -3,8 +3,9 @@
 //
 //	CURRENT          "snap-NNNNNN\n" — the committed generation
 //	snap-NNNNNN/     one snapshot: schema.authdb, views.authdb,
-//	                 data/REL.csv, and a MANIFEST with the CRC-32 and
-//	                 size of every file
+//	                 data/REL.csv, an LSN file recording the log
+//	                 sequence number the snapshot embodies, and a
+//	                 MANIFEST with the CRC-32 and size of every file
 //	wal-NNNNNN.log   statements applied after snap-NNNNNN was taken
 //
 // A checkpoint builds the next generation in a temp directory, fsyncs
@@ -32,7 +33,6 @@ import (
 
 	"authdb/internal/core"
 	"authdb/internal/faultfs"
-	"authdb/internal/parser"
 	"authdb/internal/wal"
 )
 
@@ -44,16 +44,20 @@ const (
 func snapName(gen uint64) string { return fmt.Sprintf("snap-%06d", gen) }
 func walName(gen uint64) string  { return fmt.Sprintf("wal-%06d.log", gen) }
 
+// lsnName is the snapshot file recording the LSN the snapshot embodies;
+// recovery continues numbering from it (see commit.go for LSN
+// semantics). It lives only inside snapshot generations, never in the
+// flat Save layout.
+const lsnName = "LSN"
+
 // durable is an engine's attachment to a durable database directory.
+// The open WAL handle lives on the Engine (walH, under walMu) so the
+// group-commit flusher can append without the engine lock; the
+// fail-stop error lives on the Engine too (brokenErr, under commitMu).
 type durable struct {
 	fs  faultfs.FS
 	dir string
 	gen uint64
-	wal *wal.Log
-	// broken is set at the first journaling failure; the engine then
-	// fails stop for mutations (the in-memory state may be ahead of the
-	// log, and accepting more writes would widen the divergence).
-	broken error
 }
 
 // OpenDurable opens (creating if necessary) a durable database
@@ -71,6 +75,22 @@ func OpenDurableFS(fs faultfs.FS, dir string, opt core.Options) (*Engine, error)
 	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	e, err := openDurableFS(fs, dir, opt)
+	if err != nil {
+		releaseDirLock(lock)
+		return nil, err
+	}
+	e.dirLock = lock
+	return e, nil
+}
+
+// openDurableFS loads the committed state, replays the log, and takes
+// the opening checkpoint; the caller holds the directory lock.
+func openDurableFS(fs faultfs.FS, dir string, opt core.Options) (*Engine, error) {
 	gen, committed, err := readCurrent(fs, dir)
 	if err != nil {
 		return nil, err
@@ -86,6 +106,10 @@ func OpenDurableFS(fs faultfs.FS, dir string, opt core.Options) (*Engine, error)
 		if err != nil {
 			return nil, err
 		}
+		// loadState rebuilt the state by replaying rendered statements,
+		// which counted LSNs of its own; reset to the number the snapshot
+		// actually embodies before the WAL replay resumes the count.
+		e.lsn.Store(readSnapLSN(fs, snapDir))
 		if err := replayWAL(fs, filepath.Join(dir, walName(gen)), e); err != nil {
 			return nil, err
 		}
@@ -126,6 +150,22 @@ func readCurrent(fs faultfs.FS, dir string) (gen uint64, committed bool, err err
 func legacyLayout(fs faultfs.FS, dir string) bool {
 	_, err := fs.Stat(filepath.Join(dir, "schema.authdb"))
 	return err == nil
+}
+
+// readSnapLSN reads a snapshot's LSN file. Snapshots taken before LSNs
+// existed have none; their count restarts at zero, which is fine —
+// LSNs only need to stay consistent between nodes going forward, and
+// replication always transfers the position explicitly.
+func readSnapLSN(fs faultfs.FS, snapDir string) uint64 {
+	data, err := fs.ReadFile(filepath.Join(snapDir, lsnName))
+	if err != nil {
+		return 0
+	}
+	var lsn uint64
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(data)), "%d", &lsn); err != nil {
+		return 0
+	}
+	return lsn
 }
 
 // verifyManifest checks every snapshot file against the CRC-32 and size
@@ -186,8 +226,8 @@ func (e *Engine) Checkpoint() error {
 	if e.dur == nil {
 		return fmt.Errorf("engine has no durable directory")
 	}
-	if e.dur.broken != nil {
-		return fmt.Errorf("durable state failed: %w", e.dur.broken)
+	if err := e.brokenNow(); err != nil {
+		return fmt.Errorf("durable state failed: %w", err)
 	}
 	return e.checkpointLocked(e.dur.fs, e.dur.dir, e.dur.gen)
 }
@@ -197,10 +237,19 @@ func (e *Engine) Checkpoint() error {
 // engine's attachment is unchanged.
 func (e *Engine) checkpointLocked(fs faultfs.FS, dir string, gen uint64) error {
 	next := gen + 1
+	// Flush anything the group-commit flusher still holds into the old
+	// generation's WAL (completing those waiters and publishing to the
+	// commit feed) before the log rotates out from under it. New records
+	// cannot be staged while we hold e.mu.
+	e.drainCommits()
 	files, err := e.snapshotFiles()
 	if err != nil {
 		return err
 	}
+	// The LSN file pins the statement count the snapshot embodies; it is
+	// part of the generation (and its MANIFEST), not of the flat Save
+	// export, which is why it is added here and not in snapshotFiles.
+	files[lsnName] = []byte(fmt.Sprintf("%d\n", e.lsn.Load()))
 
 	// Build the snapshot in a temp directory: contents, MANIFEST, fsyncs.
 	tmp := filepath.Join(dir, snapName(next)+".tmp")
@@ -258,12 +307,22 @@ func (e *Engine) checkpointLocked(fs faultfs.FS, dir string, gen uint64) error {
 		return err
 	}
 
-	// Committed. Install the new log and reclaim the old generation
-	// (best effort — leftovers are ignored and retried next checkpoint).
-	if e.dur != nil && e.dur.wal != nil {
-		e.dur.wal.Close()
+	// Committed. Install the new log (under walMu so the flusher never
+	// sees a half-swapped handle) and reclaim the old generation (best
+	// effort — leftovers are ignored and retried next checkpoint).
+	e.walMu.Lock()
+	if e.walH != nil {
+		e.walH.Close()
 	}
-	e.dur = &durable{fs: fs, dir: dir, gen: next, wal: wl}
+	e.walH = wl
+	e.walMu.Unlock()
+	e.dur = &durable{fs: fs, dir: dir, gen: next}
+	e.snapGen.Store(next)
+	e.snapBase.Store(e.lsn.Load())
+	e.commitMu.Lock()
+	e.durableLSN.Store(e.lsn.Load())
+	e.commitCond.Broadcast()
+	e.commitMu.Unlock()
 	if gen > 0 {
 		fs.RemoveAll(filepath.Join(dir, snapName(gen)))
 		fs.Remove(filepath.Join(dir, walName(gen)))
@@ -274,42 +333,42 @@ func (e *Engine) checkpointLocked(fs faultfs.FS, dir string, gen uint64) error {
 // durCheck refuses mutations once the durable layer has failed.
 // Callers hold e.mu.
 func (e *Engine) durCheck() error {
-	if e.dur != nil && e.dur.broken != nil {
-		return fmt.Errorf("durable log failed, mutations are disabled: %w", e.dur.broken)
-	}
-	return nil
-}
-
-// logStmt journals an applied mutating statement. Callers hold e.mu for
-// writing and have already applied the mutation; a journaling failure
-// marks the durable state broken (fail stop).
-func (e *Engine) logStmt(p parser.Stmt) error {
 	if e.dur == nil {
 		return nil
 	}
-	text, err := parser.Render(p)
-	if err == nil {
-		err = e.dur.wal.Append(text)
+	if err := e.brokenNow(); err != nil {
+		return fmt.Errorf("durable log failed, mutations are disabled: %w", err)
 	}
-	if err != nil {
-		e.dur.broken = err
-		return fmt.Errorf("journaling statement: %w", err)
-	}
-	e.met.Counter("authdb_wal_appends_total").Inc()
 	return nil
 }
 
-// Close releases the durable log handle. The in-memory state stays
-// readable; further mutations on a durable engine fail. Engines without
-// a durable directory close trivially.
+// Close stops the group-commit flusher (after a final drain), releases
+// the durable log handle, and drops the directory lock. The in-memory
+// state stays readable; further mutations on a durable engine fail.
+// Engines without a durable directory close trivially.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.dur == nil || e.dur.wal == nil {
+	if e.groupOn {
+		e.drainCommits()
+		close(e.flusherStop)
+		<-e.flusherDone
+		e.flusherStop, e.flusherDone = nil, nil
+		e.groupOn = false
+	}
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	// Release the directory lock even on engines already broken or
+	// closed; a dead handle must never keep the directory unusable.
+	if e.dirLock != nil {
+		releaseDirLock(e.dirLock)
+		e.dirLock = nil
+	}
+	if e.dur == nil || e.walH == nil {
 		return nil
 	}
-	err := e.dur.wal.Close()
-	e.dur.broken = errors.New("engine closed")
-	e.dur.wal = nil
+	err := e.walH.Close()
+	e.setBroken(errors.New("engine closed"))
+	e.walH = nil
 	return err
 }

@@ -169,6 +169,12 @@ func crashSweep(t *testing.T, short bool) {
 			}
 		}
 		tripped := fs.Tripped()
+		// The crashed process is gone: drop the handles it held. The
+		// kernel releases a dead process's directory lock the same way,
+		// so recovery never meets a stale lock.
+		if e != nil {
+			e.Close()
+		}
 
 		// "Reboot": recovery over the real filesystem must always
 		// succeed and land on a prefix of the history.

@@ -15,9 +15,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"authdb/internal/algebra"
@@ -28,6 +30,7 @@ import (
 	"authdb/internal/parser"
 	"authdb/internal/relation"
 	"authdb/internal/value"
+	"authdb/internal/wal"
 )
 
 // Engine is a thread-safe database instance with view-based authorization.
@@ -44,23 +47,62 @@ type Engine struct {
 	// dur is the crash-safe persistence attachment (nil for in-memory
 	// engines); see durable.go.
 	dur *durable
+	// dirLock holds the exclusive flock on the durable directory so a
+	// second live engine cannot rotate generations underneath this one;
+	// see dirlock.go. Released in Close.
+	dirLock *os.File
 	// met collects the engine's operational metrics (requests by kind,
 	// execution latency, masked cells, guard trips, WAL appends); the
 	// network server shares it and adds its own series. See observe.go.
 	met *metrics.Registry
+
+	// lsn is the log sequence number: the count of mutating statements
+	// applied (and staged for the WAL) over the engine's entire history,
+	// surviving checkpoints and restarts via the snapshot's LSN file.
+	// durableLSN trails it by the commits not yet fsynced; snapGen
+	// mirrors the committed snapshot generation. See commit.go.
+	lsn        atomic.Uint64
+	durableLSN atomic.Uint64
+	snapGen    atomic.Uint64
+	// snapBase is the LSN the committed snapshot embodies; the WAL of
+	// the current generation holds statements snapBase+1..durableLSN.
+	snapBase atomic.Uint64
+
+	// Group-commit machinery (commit.go): staged records awaiting one
+	// shared fsync, the flusher that writes them, and the WAL handle
+	// mirror the flusher appends through without holding e.mu.
+	commitMu    sync.Mutex
+	commitCond  *sync.Cond
+	commitQ     []pendingCommit
+	commitWake  chan struct{}
+	groupOn     bool
+	flusherStop chan struct{}
+	flusherDone chan struct{}
+	brokenErr   error // set at the first journaling failure; guarded by commitMu
+
+	walMu sync.Mutex
+	walH  *wal.Log
+
+	// Commit feed (commit.go): followers subscribing to durably
+	// journaled statements for replication.
+	pubMu sync.Mutex
+	subs  map[*CommitSub]struct{}
 }
 
 // New creates an empty engine with the given authorization options.
 func New(opt core.Options) *Engine {
 	sch := relation.NewDBSchema()
 	e := &Engine{
-		sch:   sch,
-		rels:  make(map[string]*relation.Relation),
-		store: core.NewStore(sch),
-		opt:   opt,
-		masks: core.NewMaskCache(0),
-		met:   metrics.NewRegistry(),
+		sch:        sch,
+		rels:       make(map[string]*relation.Relation),
+		store:      core.NewStore(sch),
+		opt:        opt,
+		masks:      core.NewMaskCache(0),
+		met:        metrics.NewRegistry(),
+		commitWake: make(chan struct{}, 1),
+		subs:       make(map[*CommitSub]struct{}),
 	}
+	e.commitCond = sync.NewCond(&e.commitMu)
 	e.registerMetrics()
 	return e
 }
@@ -141,6 +183,19 @@ type Session struct {
 	user   string
 	admin  bool
 	limits guard.Limits
+	// readOnly rejects mutating statements with ErrReadOnly; the network
+	// server sets it on every session of a replica so writes are
+	// answered with the READ_ONLY code naming the primary.
+	readOnly bool
+	// asyncCommit makes mutating statements return as soon as they are
+	// applied and staged for the WAL, without waiting for the shared
+	// fsync; the replication applier uses it to batch a whole REPL_BATCH
+	// into one sync (it calls Engine.WaitDurable before acknowledging).
+	asyncCommit bool
+	// pendingWait is the group-commit waiter of the statement being
+	// executed, set by logStmt and consumed by ExecStmtContext after the
+	// engine lock is released.
+	pendingWait func() error
 }
 
 // NewSession opens a session for user; admin sessions may define schema,
@@ -156,6 +211,16 @@ func (s *Session) User() string { return s.user }
 // SetLimits replaces the session's per-statement resource limits. Zero
 // fields are unlimited.
 func (s *Session) SetLimits(l guard.Limits) { s.limits = l }
+
+// SetReadOnly makes the session reject mutating statements with
+// ErrReadOnly (retrievals, explains, and shows still work). Replica
+// servers mark every connection's session read-only.
+func (s *Session) SetReadOnly(on bool) { s.readOnly = on }
+
+// SetAsyncCommit makes mutating statements return once applied and
+// staged, without waiting for WAL durability; pair with
+// Engine.WaitDurable to make a batch durable with one sync.
+func (s *Session) SetAsyncCommit(on bool) { s.asyncCommit = on }
 
 // Limits returns the session's per-statement resource limits.
 func (s *Session) Limits() guard.Limits { return s.limits }
@@ -221,6 +286,26 @@ func (s *Session) ExecStmtContext(ctx context.Context, p parser.Stmt) (res *Resu
 	if ctx != nil && ctx.Err() != nil {
 		return nil, fmt.Errorf("%w: %v", guard.ErrCanceled, ctx.Err())
 	}
+	if s.readOnly && Mutating(p) {
+		return nil, fmt.Errorf("%w: %s is a write", ErrReadOnly, stmtKind(p))
+	}
+	res, err = s.execStmt(ctx, p)
+	// The handler released the engine lock; wait here for the staged WAL
+	// record to become durable (group commit: many sessions share one
+	// fsync). Async-commit sessions skip the wait and sync in batches.
+	if w := s.pendingWait; w != nil {
+		s.pendingWait = nil
+		if err == nil && !s.asyncCommit {
+			if cerr := w(); cerr != nil {
+				res, err = nil, cerr
+			}
+		}
+	}
+	return res, err
+}
+
+// execStmt routes one parsed statement to its handler.
+func (s *Session) execStmt(ctx context.Context, p parser.Stmt) (*Result, error) {
 	switch p := p.(type) {
 	case parser.CreateRelation:
 		return s.createRelation(p)
@@ -274,7 +359,7 @@ func (s *Session) createRelation(p parser.CreateRelation) (*Result, error) {
 		return nil, err
 	}
 	s.eng.rels[p.Name] = relation.FromSchema(rs)
-	if err := s.eng.logStmt(p); err != nil {
+	if err := s.logStmt(p); err != nil {
 		return nil, err
 	}
 	return &Result{Text: "defined relation " + rs.String()}, nil
@@ -292,7 +377,7 @@ func (s *Session) defineView(p parser.ViewStmt) (*Result, error) {
 	if err := s.eng.store.DefineView(p.Def); err != nil {
 		return nil, err
 	}
-	if err := s.eng.logStmt(p); err != nil {
+	if err := s.logStmt(p); err != nil {
 		return nil, err
 	}
 	return &Result{Text: "defined view " + p.Def.Name}, nil
@@ -310,7 +395,7 @@ func (s *Session) dropView(p parser.DropView) (*Result, error) {
 	if !s.eng.store.DropView(p.Name) {
 		return nil, fmt.Errorf("unknown view %s", p.Name)
 	}
-	if err := s.eng.logStmt(p); err != nil {
+	if err := s.logStmt(p); err != nil {
 		return nil, err
 	}
 	return &Result{Text: "dropped view " + p.Name}, nil
@@ -328,7 +413,7 @@ func (s *Session) permit(p parser.Permit) (*Result, error) {
 	if err := s.eng.store.Permit(p.View, p.User); err != nil {
 		return nil, err
 	}
-	if err := s.eng.logStmt(p); err != nil {
+	if err := s.logStmt(p); err != nil {
 		return nil, err
 	}
 	return &Result{Text: fmt.Sprintf("permitted %s to %s", p.View, p.User)}, nil
@@ -346,7 +431,7 @@ func (s *Session) revoke(p parser.Revoke) (*Result, error) {
 	if !s.eng.store.Revoke(p.View, p.User) {
 		return nil, fmt.Errorf("no permit of %s to %s", p.View, p.User)
 	}
-	if err := s.eng.logStmt(p); err != nil {
+	if err := s.logStmt(p); err != nil {
 		return nil, err
 	}
 	return &Result{Text: fmt.Sprintf("revoked %s from %s", p.View, p.User)}, nil
@@ -507,7 +592,7 @@ func (s *Session) insert(p parser.Insert) (*Result, error) {
 	if !added {
 		return &Result{Text: "duplicate tuple ignored"}, nil
 	}
-	if err := s.eng.logStmt(p); err != nil {
+	if err := s.logStmt(p); err != nil {
 		return nil, err
 	}
 	return &Result{Text: "inserted 1 tuple into " + p.Rel}, nil
@@ -540,7 +625,7 @@ func (s *Session) delete(p parser.Delete) (*Result, error) {
 	}
 	n := r.Delete(pred)
 	if n > 0 {
-		if err := s.eng.logStmt(p); err != nil {
+		if err := s.logStmt(p); err != nil {
 			return nil, err
 		}
 	}

@@ -29,6 +29,12 @@ var ErrNotAuthorized = errors.New("not authorized")
 // statement failed but the engine keeps serving. Test with errors.Is.
 var ErrInternal = errors.New("internal error")
 
+// ErrReadOnly reports a mutating statement on a read-only session — a
+// replica serving reads while the primary owns the statement log. Test
+// with errors.Is; the wire protocol maps it to READ_ONLY and names the
+// primary.
+var ErrReadOnly = errors.New("read-only replica")
+
 // Metrics exposes the engine's metrics registry; the network server
 // registers its own series (connections, protocol errors) on the same
 // registry so one scrape shows the whole process.
@@ -48,6 +54,17 @@ func (e *Engine) registerMetrics() {
 	e.met.GaugeFunc("authdb_mask_cache_entries", func() float64 {
 		_, _, n := e.MaskCacheStats()
 		return float64(n)
+	})
+	// Replication lag is an LSN delta, so both ends of a stream expose
+	// their position: applied, durable, and the snapshot generation.
+	e.met.GaugeFunc("authdb_wal_lsn", func() float64 {
+		return float64(e.lsn.Load())
+	})
+	e.met.GaugeFunc("authdb_wal_durable_lsn", func() float64 {
+		return float64(e.durableLSN.Load())
+	})
+	e.met.GaugeFunc("authdb_snapshot_generation", func() float64 {
+		return float64(e.snapGen.Load())
 	})
 }
 

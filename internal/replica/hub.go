@@ -1,0 +1,343 @@
+// Package replica implements WAL-shipping replication: a primary
+// streams its durably committed statement log to followers, and each
+// follower applies the stream through a full engine of its own.
+//
+// The protocol rides the ordinary wire listener (internal/wire's
+// REPL_HELLO / REPL_BATCH / REPL_ACK kinds). A follower states the last
+// LSN it holds; the primary either serves the WAL tail past it or, when
+// the position predates the committed snapshot, sends a full state
+// snapshot first. Batches carry contiguous LSN runs, so a replica can
+// verify it never skips or re-applies a statement; acks flow back for
+// lag accounting and graceful shutdown.
+//
+// Authorization replicates for free: Motro's masking is a pure function
+// of the meta-database and the query, and the meta-relations (views,
+// COMPARISON, PERMISSION) are rebuilt from the same statement stream as
+// the data — so every replica is a full enforcement point, byte-for-byte
+// equivalent to the primary, with no central authorization service.
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authdb/internal/engine"
+	"authdb/internal/metrics"
+	"authdb/internal/wire"
+)
+
+const (
+	// followerBuf is the per-follower send buffer, in commits; a
+	// follower that falls this far behind the live feed is disconnected
+	// (it reconnects and catches up from disk instead of stalling the
+	// publisher).
+	followerBuf = 4096
+	// batchMaxStmts and batchMaxBytes bound one REPL_BATCH frame.
+	batchMaxStmts = 512
+	batchMaxBytes = 4 << 20
+	// writeTimeout bounds one batch write; a follower that stops
+	// reading is disconnected rather than wedging its sender.
+	writeTimeout = 30 * time.Second
+	// shutFlushWait bounds how long a graceful shutdown waits for a
+	// follower to ack the batches already written to it.
+	shutFlushWait = 3 * time.Second
+	ackWaitPoll   = 5 * time.Millisecond
+)
+
+// Hub is the primary side: it owns every follower stream. The network
+// server routes authenticated REPL_HELLO connections to HandleConn.
+type Hub struct {
+	eng  *engine.Engine
+	met  *metrics.Registry
+	shut chan struct{}
+
+	mu        sync.Mutex
+	closed    bool
+	followers map[*follower]struct{}
+	wg        sync.WaitGroup
+}
+
+// follower is one live replication stream.
+type follower struct {
+	name string
+	conn net.Conn
+	// sent is the highest LSN written to the socket; acked the highest
+	// the follower reported durably applied.
+	sent  atomic.Uint64
+	acked atomic.Uint64
+}
+
+// NewHub builds the primary-side hub for eng and registers its gauges
+// on the engine's registry.
+func NewHub(eng *engine.Engine) *Hub {
+	h := &Hub{
+		eng:       eng,
+		met:       eng.Metrics(),
+		shut:      make(chan struct{}),
+		followers: make(map[*follower]struct{}),
+	}
+	h.met.GaugeFunc("authdb_repl_followers", func() float64 {
+		return float64(h.FollowerCount())
+	})
+	h.met.GaugeFunc("authdb_repl_max_follower_lag_lsns", func() float64 {
+		_, maxLag := h.ackStats()
+		return float64(maxLag)
+	})
+	return h
+}
+
+// FollowerCount reports the live follower streams.
+func (h *Hub) FollowerCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.followers)
+}
+
+// ackStats returns the minimum acked LSN across followers and the
+// maximum follower lag against the primary's durable LSN (both zero
+// with no followers).
+func (h *Hub) ackStats() (minAcked, maxLag uint64) {
+	durable := h.eng.DurableLSN()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for f := range h.followers {
+		a := f.acked.Load()
+		if minAcked == 0 || a < minAcked {
+			minAcked = a
+		}
+		if lag := durable - min(a, durable); lag > maxLag {
+			maxLag = lag
+		}
+	}
+	return minAcked, maxLag
+}
+
+// HandleConn serves one follower stream on an already-authenticated
+// connection whose first frame was hello; it returns when the stream
+// ends (the caller owns closing the connection). The read half of the
+// connection carries the follower's acks.
+func (h *Hub) HandleConn(nc net.Conn, br *bufio.Reader, hello wire.ReplHello) {
+	bw := bufio.NewWriter(nc)
+	reject := func(we *wire.Error) {
+		nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if wire.WriteMsg(bw, wire.ReplHelloReply{OK: false, Error: we}) == nil {
+			bw.Flush()
+		}
+	}
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		reject(&wire.Error{Code: wire.CodeShuttingDown,
+			Message: "primary is shutting down", Retryable: true})
+		return
+	}
+	f := &follower{name: hello.Name, conn: nc}
+	if f.name == "" {
+		f.name = nc.RemoteAddr().String()
+	}
+	h.followers[f] = struct{}{}
+	h.wg.Add(1)
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.followers, f)
+		h.mu.Unlock()
+		h.wg.Done()
+	}()
+	h.met.Counter("authdb_repl_follower_connects_total").Inc()
+
+	// Subscribe to the commit feed BEFORE reading the tail or rendering
+	// the snapshot: every statement is then either in what we read (it
+	// was durable before the subscription) or in the channel, and the
+	// LSN filter in sendBatches drops the overlap. Subscribing after
+	// would open a gap.
+	sub := h.eng.SubscribeCommits(followerBuf)
+	defer h.eng.UnsubscribeCommits(sub)
+
+	reply := wire.ReplHelloReply{OK: true, Gen: h.eng.Generation()}
+	var pending []engine.Commit
+	next := hello.From + 1
+	tail, ok, err := h.eng.WALTail(hello.From)
+	switch {
+	case err != nil:
+		reject(&wire.Error{Code: wire.CodeInternal, Message: err.Error()})
+		return
+	case ok:
+		reply.Mode = wire.ReplModeTail
+		pending = tail
+	default:
+		files, lsn, gen, err := h.eng.ReplSnapshot()
+		if err != nil {
+			reject(&wire.Error{Code: wire.CodeInternal, Message: err.Error()})
+			return
+		}
+		reply.Mode = wire.ReplModeSnapshot
+		reply.Snapshot, reply.SnapshotLSN, reply.Gen = files, lsn, gen
+		next = lsn + 1
+		h.met.Counter("authdb_repl_snapshots_sent_total").Inc()
+	}
+	nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	if err := wire.WriteMsg(bw, reply); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	f.sent.Store(next - 1)
+	f.acked.Store(next - 1)
+
+	go h.readAcks(f, br)
+
+	if next, err = h.sendBatches(f, bw, next, pending); err != nil {
+		h.met.Counter("authdb_repl_follower_disconnects_total", "reason", "write").Inc()
+		return
+	}
+	for {
+		select {
+		case <-h.shut:
+			h.waitAcked(f)
+			return
+		case c, live := <-sub.C():
+			var batch []engine.Commit
+			if live {
+				batch = append(batch, c)
+				for live && len(batch) < batchMaxStmts {
+					select {
+					case c2, ok2 := <-sub.C():
+						if ok2 {
+							batch = append(batch, c2)
+						}
+						live = ok2
+					default:
+						goto collected
+					}
+				}
+			}
+		collected:
+			if next, err = h.sendBatches(f, bw, next, batch); err != nil {
+				h.met.Counter("authdb_repl_follower_disconnects_total", "reason", "write").Inc()
+				return
+			}
+			if !live {
+				// The engine closed our subscription: this follower fell
+				// more than followerBuf commits behind. Drop it; on
+				// reconnect it catches up from disk.
+				h.met.Counter("authdb_repl_follower_disconnects_total", "reason", "slow").Inc()
+				return
+			}
+		}
+	}
+}
+
+// sendBatches streams the commits with LSN >= next as REPL_BATCH frames
+// (chunked under the frame limits) and returns the next expected LSN.
+// Commits below next are the intended overlap between the disk catch-up
+// and the live feed and are dropped; a commit above next means the feed
+// lost something (cannot happen while the subscription is open) and
+// fails the stream.
+func (h *Hub) sendBatches(f *follower, bw *bufio.Writer, next uint64, cs []engine.Commit) (uint64, error) {
+	i := 0
+	for {
+		for i < len(cs) && cs[i].LSN < next {
+			i++
+		}
+		if i == len(cs) {
+			return next, nil
+		}
+		if cs[i].LSN != next {
+			return next, fmt.Errorf("replica: commit feed gap: have %d, want %d", cs[i].LSN, next)
+		}
+		from := next
+		var stmts []string
+		nbytes := 0
+		for i < len(cs) && cs[i].LSN == next && len(stmts) < batchMaxStmts && nbytes < batchMaxBytes {
+			stmts = append(stmts, cs[i].Stmt)
+			nbytes += len(cs[i].Stmt)
+			i++
+			next++
+		}
+		start := time.Now()
+		f.conn.SetWriteDeadline(start.Add(writeTimeout))
+		if err := wire.WriteMsg(bw, wire.ReplBatch{
+			Kind: wire.KindReplBatch, From: from, Stmts: stmts,
+			SentUnixNano: start.UnixNano(),
+		}); err != nil {
+			return next, err
+		}
+		if err := bw.Flush(); err != nil {
+			return next, err
+		}
+		f.sent.Store(next - 1)
+		h.met.Counter("authdb_repl_batches_sent_total").Inc()
+		h.met.Counter("authdb_repl_stmts_sent_total").Add(int64(len(stmts)))
+		h.met.Histogram("authdb_repl_send_seconds").Observe(time.Since(start).Seconds())
+	}
+}
+
+// readAcks consumes the follower's ack stream until the connection
+// dies; it is the only reader of the connection after the handshake.
+func (h *Hub) readAcks(f *follower, br *bufio.Reader) {
+	f.conn.SetReadDeadline(time.Time{}) // clear the handshake deadline
+	for {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if wire.MsgKind(payload) != wire.KindReplAck {
+			continue
+		}
+		var ack wire.ReplAck
+		if json.Unmarshal(payload, &ack) != nil {
+			continue
+		}
+		if ack.Applied > f.acked.Load() {
+			f.acked.Store(ack.Applied)
+		}
+		h.met.Counter("authdb_repl_acks_total").Inc()
+	}
+}
+
+// waitAcked gives a follower a bounded window to ack everything already
+// written to it — the graceful-shutdown flush.
+func (h *Hub) waitAcked(f *follower) {
+	deadline := time.Now().Add(shutFlushWait)
+	for time.Now().Before(deadline) {
+		if f.acked.Load() >= f.sent.Load() {
+			return
+		}
+		time.Sleep(ackWaitPoll)
+	}
+}
+
+// Shutdown stops the hub: no new followers are admitted, live streams
+// stop at their current batch, and each stream waits (bounded) for the
+// follower to ack what was sent. ctx caps the total wait; on expiry
+// remaining follower connections are force-closed.
+func (h *Hub) Shutdown(ctx context.Context) {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.shut)
+	}
+	h.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { h.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		h.mu.Lock()
+		for f := range h.followers {
+			f.conn.Close()
+		}
+		h.mu.Unlock()
+		<-done
+	}
+}

@@ -26,8 +26,10 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"crypto/subtle"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -38,6 +40,7 @@ import (
 
 	"authdb"
 	"authdb/internal/metrics"
+	"authdb/internal/replica"
 	"authdb/internal/wire"
 )
 
@@ -77,9 +80,14 @@ type Config struct {
 	// authdb.DefaultLimits()).
 	Limits authdb.Limits
 	// AdminToken, when non-empty, is required of administrator
-	// handshakes. When empty, administrator connections are accepted
-	// as-is; only deploy that on a trusted network.
+	// handshakes and of replication streams. When empty, administrator
+	// connections are accepted as-is; only deploy that on a trusted
+	// network.
 	AdminToken string
+	// ReadOnlyPrimary, when non-empty, marks this server a replica:
+	// every session is read-only and mutating statements fail with the
+	// READ_ONLY code naming this primary address.
+	ReadOnlyPrimary string
 }
 
 // Server serves one database over the wire protocol.
@@ -104,7 +112,14 @@ type Server struct {
 	metricsLn net.Listener // see http.go
 
 	activeConns *metrics.Gauge
+
+	// hub owns the replication follower streams (see internal/replica);
+	// connections whose first frame is a REPL_HELLO are routed to it.
+	hub *replica.Hub
 }
+
+// Hub exposes the server's replication hub (follower streams).
+func (s *Server) Hub() *replica.Hub { return s.hub }
 
 // New builds a server for db; call Start to begin serving.
 func New(db *authdb.DB, cfg Config) *Server {
@@ -130,6 +145,7 @@ func New(db *authdb.DB, cfg Config) *Server {
 		conns:       make(map[net.Conn]struct{}),
 		activeConns: met.Gauge("authdb_server_connections_active"),
 	}
+	s.hub = replica.NewHub(db.Engine())
 	s.baseCtx, s.cancelInflight = context.WithCancel(context.Background())
 	return s
 }
@@ -240,6 +256,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	// Drain follower streams first: each stops at its current batch and
+	// gets a bounded window to ack what was already sent, so a restart
+	// of the fleet resumes with no re-sent work. Must run before
+	// kickAll, which would kill the ack readers.
+	s.hub.Shutdown(ctx)
 	s.kickAll()
 
 	done := make(chan struct{})
@@ -281,8 +302,19 @@ func (s *Server) handle(nc net.Conn) {
 	bw := newWriter(nc)
 
 	nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	// The first frame decides the connection's protocol: a regular
+	// Hello (no "kind" field) opens a statement session, a REPL_HELLO
+	// opens a replication stream served by the hub.
+	first, err := wire.ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if wire.MsgKind(first) == wire.KindReplHello {
+		s.handleRepl(nc, br, first)
+		return
+	}
 	var hello wire.Hello
-	if err := wire.ReadMsg(br, &hello); err != nil {
+	if err := json.Unmarshal(first, &hello); err != nil {
 		return
 	}
 	sess, herr := s.authenticate(hello)
@@ -319,6 +351,37 @@ func (s *Server) handle(nc net.Conn) {
 	}
 }
 
+// handleRepl authenticates a replication handshake and hands the
+// connection to the hub for the life of the stream.
+func (s *Server) handleRepl(nc net.Conn, br *bufio.Reader, first []byte) {
+	refuse := func(we *wire.Error) {
+		bw := newWriter(nc)
+		nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if wire.WriteMsg(bw, wire.ReplHelloReply{OK: false, Error: we}) == nil {
+			bw.Flush()
+		}
+	}
+	var hello wire.ReplHello
+	if err := json.Unmarshal(first, &hello); err != nil {
+		refuse(&wire.Error{Code: wire.CodeProtocol, Message: "malformed repl_hello"})
+		return
+	}
+	if hello.Proto != wire.ProtoVersion {
+		refuse(&wire.Error{Code: wire.CodeProtocol,
+			Message: fmt.Sprintf("protocol version %d, server speaks %d", hello.Proto, wire.ProtoVersion)})
+		return
+	}
+	// Replication reads everything unmasked; it carries the same
+	// authority as an administrator connection.
+	if s.cfg.AdminToken != "" &&
+		subtle.ConstantTimeCompare([]byte(hello.Token), []byte(s.cfg.AdminToken)) != 1 {
+		refuse(&wire.Error{Code: wire.CodeNotAuthorized, Message: "bad replication token"})
+		return
+	}
+	s.met.Counter("authdb_server_repl_streams_total").Inc()
+	s.hub.HandleConn(nc, br, hello)
+}
+
 // authenticate validates the hello and opens the connection's session
 // with the server's per-connection limits.
 func (s *Server) authenticate(h wire.Hello) (*authdb.Session, *wire.Error) {
@@ -333,7 +396,11 @@ func (s *Server) authenticate(h wire.Hello) (*authdb.Session, *wire.Error) {
 		subtle.ConstantTimeCompare([]byte(h.Token), []byte(s.cfg.AdminToken)) != 1 {
 		return nil, &wire.Error{Code: wire.CodeNotAuthorized, Message: "bad admin token"}
 	}
-	return s.db.SessionFor(h.User, h.Admin).SetLimits(s.cfg.Limits), nil
+	sess := s.db.SessionFor(h.User, h.Admin).SetLimits(s.cfg.Limits)
+	if s.cfg.ReadOnlyPrimary != "" {
+		sess.SetReadOnly(true)
+	}
+	return sess, nil
 }
 
 // execute runs one request on the connection's session under the
@@ -353,6 +420,9 @@ func (s *Server) execute(sess *authdb.Session, req wire.Request) wire.Response {
 	res, err := sess.Dispatch(ctx, req.Stmt)
 	if err != nil {
 		we := wire.ErrorFor(err)
+		if we.Code == wire.CodeReadOnly && s.cfg.ReadOnlyPrimary != "" {
+			we.Message = fmt.Sprintf("%s; send writes to the primary at %s", we.Message, s.cfg.ReadOnlyPrimary)
+		}
 		s.met.Counter("authdb_server_errors_total", "code", we.Code).Inc()
 		return wire.Response{ID: req.ID, Error: we}
 	}

@@ -1,0 +1,98 @@
+// Replication messages. A replica dials the primary's ordinary listen
+// address; its first frame is a ReplHello instead of a Hello, and the
+// server routes on the "kind" field (MsgKind) — regular handshakes have
+// none. After the primary's ReplHelloReply the connection becomes a
+// one-way statement stream (ReplBatch frames, primary → replica) with
+// an ack stream (ReplAck frames, replica → primary) riding the other
+// direction; both sides use the same framing as the rest of the
+// protocol.
+package wire
+
+import "encoding/json"
+
+// Replication message kinds, carried in the "kind" field.
+const (
+	KindReplHello = "repl_hello"
+	KindReplBatch = "repl_batch"
+	KindReplAck   = "repl_ack"
+)
+
+// MsgKind probes a frame's "kind" field without committing to a message
+// type; it returns "" for frames without one (every pre-replication
+// message, notably the regular Hello) or for payloads that are not a
+// JSON object.
+func MsgKind(payload []byte) string {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(payload, &probe); err != nil {
+		return ""
+	}
+	return probe.Kind
+}
+
+// ReplHello opens a replication stream: the replica announces the
+// protocol version, authenticates with the primary's admin token, and
+// states the last LSN it has durably applied (zero for an empty
+// replica). The primary decides how to bring it current.
+type ReplHello struct {
+	Kind  string `json:"kind"` // KindReplHello
+	Proto int    `json:"proto"`
+	Token string `json:"token,omitempty"`
+	// From is the replica's last durably applied LSN; the stream resumes
+	// at From+1.
+	From uint64 `json:"from"`
+	// Name labels the follower in the primary's metrics and \stats.
+	Name string `json:"name,omitempty"`
+}
+
+// Modes a primary answers a ReplHello with.
+const (
+	// ReplModeTail: the replica's position is recent enough that the
+	// stream alone brings it current; no snapshot follows.
+	ReplModeTail = "tail"
+	// ReplModeSnapshot: the reply carries a full state snapshot the
+	// replica must install before applying the stream.
+	ReplModeSnapshot = "snapshot"
+)
+
+// ReplHelloReply accepts (or rejects) a replication stream. On success
+// Mode says whether Snapshot is present; the batch stream follows
+// immediately after this frame.
+type ReplHelloReply struct {
+	OK   bool   `json:"ok"`
+	Mode string `json:"mode,omitempty"`
+	// Snapshot is the primary's complete state in the flat snapshot file
+	// layout (JSON encodes the file bodies as base64); set in snapshot
+	// mode only. SnapshotLSN is the LSN the snapshot embodies — the
+	// stream resumes at SnapshotLSN+1.
+	Snapshot    map[string][]byte `json:"snapshot,omitempty"`
+	SnapshotLSN uint64            `json:"snapshot_lsn,omitempty"`
+	// Gen is the primary's snapshot generation at handshake, for
+	// diagnostics.
+	Gen   uint64 `json:"gen,omitempty"`
+	Error *Error `json:"error,omitempty"`
+}
+
+// ReplBatch carries a contiguous run of durably committed statements:
+// Stmts[i] has LSN From+i. The replica applies them in order and must
+// never see a gap — a hole is a protocol error that forces reconnect.
+type ReplBatch struct {
+	Kind string `json:"kind"` // KindReplBatch
+	// From is the LSN of Stmts[0].
+	From  uint64   `json:"from"`
+	Stmts []string `json:"stmts"`
+	// SentUnixNano is the primary's clock when the batch was written;
+	// the replica derives its seconds-behind lag from it (meaningful to
+	// the extent the two clocks agree).
+	SentUnixNano int64 `json:"sent_unix_nano,omitempty"`
+}
+
+// ReplAck reports the replica's durable progress; the primary uses it
+// for lag accounting and to decide when a graceful shutdown may stop
+// waiting for a follower.
+type ReplAck struct {
+	Kind string `json:"kind"` // KindReplAck
+	// Applied is the highest LSN the replica has durably applied.
+	Applied uint64 `json:"applied"`
+}

@@ -6,12 +6,13 @@
 // A Client owns one TCP connection and serializes calls on it (the
 // protocol is strictly request/response). When the connection breaks —
 // a server restart, an idle-timeout close, a network blip — the next
-// Exec transparently reconnects and retries once. Retried statements
-// are therefore at-least-once: a mutation whose response was lost may
-// be applied twice (inserts of duplicate tuples are ignored by the
-// engine, so the common case is benign); callers needing exactly-once
-// semantics should disable retry by canceling the context on first
-// failure and re-checking state.
+// Exec transparently reconnects, and read-only statements are retried
+// once. Mutating statements are never auto-retried after the request
+// may have reached the server: with replicas replaying the statement
+// WAL, a duplicate apply would fan out to the whole fleet, so a
+// mutation whose response was lost fails with ErrUnknownOutcome and
+// the caller decides (re-check state, or resubmit knowing duplicate
+// inserts are ignored by the engine).
 package client
 
 import (
@@ -20,14 +21,23 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
+	"unicode"
 
 	"authdb/internal/wire"
 )
 
 // ErrClosed reports an Exec on a Close()d client.
 var ErrClosed = errors.New("client: closed")
+
+// ErrUnknownOutcome reports that a mutating statement's request may
+// have reached the server but the connection died before the response:
+// the statement may or may not have been applied (and journaled, and
+// replicated). The client does not retry — the caller must re-check
+// state or knowingly resubmit. Test with errors.Is.
+var ErrUnknownOutcome = errors.New("client: outcome unknown (request sent, connection lost before the response)")
 
 // ServerError is a structured statement failure from the server. Branch
 // on Code (see internal/wire for the inventory: PARSE, CANCELED,
@@ -158,8 +168,11 @@ func (c *Client) connect(ctx context.Context) error {
 // Exec executes one statement (or the `\stats` meta-command) under ctx:
 // the context's deadline rides the request so the server cancels
 // server-side too, and cancellation unblocks the network wait. On a
-// broken connection Exec reconnects and retries once; server-answered
-// failures return a *ServerError and are never retried.
+// broken connection Exec reconnects; read-only statements are retried
+// once, while mutating statements whose request may already have
+// reached the server fail with ErrUnknownOutcome instead of risking a
+// duplicate apply. Server-answered failures return a *ServerError and
+// are never retried.
 func (c *Client) Exec(ctx context.Context, stmt string) (*Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -184,7 +197,7 @@ func (c *Client) Exec(ctx context.Context, stmt string) (*Result, error) {
 				continue
 			}
 		}
-		res, err := c.roundTrip(ctx, stmt)
+		res, sent, err := c.roundTrip(ctx, stmt)
 		if err == nil {
 			return res, nil
 		}
@@ -192,17 +205,45 @@ func (c *Client) Exec(ctx context.Context, stmt string) (*Result, error) {
 		if errors.As(err, &se) {
 			return nil, err // the server answered; the connection is fine
 		}
-		// Transport failure: drop the connection, maybe retry.
+		// Transport failure: drop the connection.
 		c.nc.Close()
 		c.nc = nil
+		if sent && mutatingStmt(stmt) {
+			// The request was (possibly partially) on the wire when the
+			// connection died: the server may have executed, journaled,
+			// and replicated it. Retrying could apply it twice.
+			return nil, fmt.Errorf("%w: %v", ErrUnknownOutcome, err)
+		}
 		lastErr = err
 	}
 	return nil, lastErr
 }
 
+// mutatingStmt classifies a statement by its leading keyword; anything
+// unrecognized counts as mutating (the conservative direction for the
+// retry decision — an unknown statement is answered with a parse error
+// by the server, so the only cost is a skipped retry).
+func mutatingStmt(stmt string) bool {
+	stmt = strings.TrimSpace(stmt)
+	if strings.HasPrefix(stmt, `\`) {
+		return false // meta-commands (\stats) never mutate
+	}
+	i := 0
+	for i < len(stmt) && !unicode.IsSpace(rune(stmt[i])) && stmt[i] != '(' {
+		i++
+	}
+	switch strings.ToLower(stmt[:i]) {
+	case "retrieve", "show", "explain", "":
+		return false
+	}
+	return true
+}
+
 // roundTrip writes one request and reads its response; callers hold
-// c.mu and guarantee c.nc != nil.
-func (c *Client) roundTrip(ctx context.Context, stmt string) (*Result, error) {
+// c.mu and guarantee c.nc != nil. sent reports whether request bytes
+// may have reached the server by the time an error occurred — false
+// only for failures before anything was written.
+func (c *Client) roundTrip(ctx context.Context, stmt string) (res *Result, sent bool, err error) {
 	c.nextID++
 	nc := c.nc
 	req := wire.Request{ID: c.nextID, Stmt: stmt}
@@ -230,23 +271,26 @@ func (c *Client) roundTrip(ctx context.Context, stmt string) (*Result, error) {
 		}
 	}()
 
+	// From the first write onward the request may be on the wire (large
+	// frames flush through the buffered writer mid-WriteMsg), so every
+	// failure past this point reports sent=true.
 	if err := wire.WriteMsg(c.bw, req); err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	var resp wire.Response
 	if err := wire.ReadMsg(c.br, &resp); err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	if resp.ID != req.ID {
-		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+		return nil, true, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
 	}
 	if resp.Error != nil {
-		return nil, serverError(resp.Error)
+		return nil, true, serverError(resp.Error)
 	}
-	res := &Result{
+	res = &Result{
 		Text:            resp.Text,
 		Rendered:        resp.Rendered,
 		Permits:         resp.Permits,
@@ -257,7 +301,7 @@ func (c *Client) roundTrip(ctx context.Context, stmt string) (*Result, error) {
 		res.Columns = resp.Table.Columns
 		res.Rows = resp.Table.Rows
 	}
-	return res, nil
+	return res, true, nil
 }
 
 // Close closes the connection; further Execs fail with ErrClosed.
