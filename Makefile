@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz fuzz-wire bench bench-index bench-serve bench-replica benchgo
+.PHONY: check build vet test race chaos fuzz fuzz-wire bench bench-index bench-serve bench-replica benchgo
 
 check: build vet race
 
@@ -17,6 +17,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The jepsen-lite failover suite under the race detector: five seeded
+# network-chaos schedules (partitions, latency, mid-message cuts,
+# promotion of a replica while the old primary still takes writes) plus
+# a deliberately un-fenced run that must trip the dual-primary check.
+# Set CHAOS_SEED to replay one schedule; set CHAOS_HISTORY_DIR to dump
+# per-schedule operation histories (CI uploads them on failure).
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/chaosnet
 
 # Short exploratory fuzz pass over the session executor (seeded from
 # internal/engine/testdata/fuzz).

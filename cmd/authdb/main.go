@@ -23,7 +23,8 @@
 //	\quit         exit
 //
 // Subcommands: `authdb serve` runs the database as a network server
-// (see cmd/authdb/serve.go and DESIGN.md §11); `authdb bench` and
+// (see cmd/authdb/serve.go and DESIGN.md §11); `authdb promote` flips a
+// replica into the serving primary (DESIGN.md §13); `authdb bench` and
 // `authdb bench-serve` are the measurement harnesses.
 //
 // Everything else is a statement; end statements with ';' or a newline.
@@ -54,6 +55,8 @@ func main() {
 			os.Exit(runBenchReplica(os.Args[2:]))
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
+		case "promote":
+			os.Exit(runPromote(os.Args[2:]))
 		}
 	}
 	os.Exit(run())

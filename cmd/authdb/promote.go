@@ -1,0 +1,45 @@
+package main
+
+// The promote subcommand: flip a read-only replica into the serving
+// primary (DESIGN.md §13). It connects as an administrator and issues
+// the \promote statement; the replica drains its applier, bumps the
+// cluster epoch, and starts accepting writes. Any ex-primary that later
+// reconnects sees the higher epoch, quarantines its divergent suffix,
+// and rejoins as a follower.
+//
+//	authdb promote -addr HOST:PORT -admin-token T [-timeout D]
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"authdb/pkg/client"
+)
+
+func runPromote(args []string) int {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:6544", "wire-protocol address of the replica to promote")
+	token := fs.String("admin-token", "", "the node's administrator token")
+	timeout := fs.Duration("timeout", 30*time.Second, "bound on the whole promotion (drain included)")
+	fs.Parse(args)
+
+	c, err := client.Dial(*addr, client.WithAdmin("root", *token),
+		client.WithDialTimeout(*timeout))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connecting to %s: %v\n", *addr, err)
+		return 1
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := c.Exec(ctx, `\promote`)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promoting %s: %v\n", *addr, err)
+		return 1
+	}
+	fmt.Print(res.Rendered)
+	return 0
+}

@@ -10,13 +10,21 @@ package main
 //	             [-paper] [-load FILE] [-max-conns N] [-idle-timeout D]
 //	             [-grace D] [-admin-token T] [-max-intermediate-rows N]
 //	             [-max-result-rows N] [-stmt-timeout D] [-parallelism N]
-//	             [-group-commit] [-replica-of HOST:PORT] [-primary-token T]
-//	             [-repl-name NAME]
+//	             [-group-commit] [-replica-of HOST:PORT[,HOST:PORT...]]
+//	             [-primary-token T] [-repl-name NAME] [-advertise HOST:PORT]
+//	             [-peers HOST:PORT[,...]] [-ready-max-lag N]
 //
 // With -replica-of, this node follows the named primary (DESIGN.md §12):
 // it bootstraps from the primary's snapshot or WAL tail, applies the
 // live statement stream, and serves read-only masked answers; writes are
-// refused with READ_ONLY naming the primary.
+// refused with READ_ONLY naming the primary. Several comma-separated
+// addresses may be given: the follower rotates through them (and through
+// leader hints in fencing notices) until it finds the current primary,
+// which is how a cluster survives failover (DESIGN.md §13). -advertise
+// sets the address other nodes are told to reach this node at; -peers
+// lists the other cluster members, used to rejoin after this node is
+// fenced; -ready-max-lag bounds the replication lag (in LSNs) at which
+// /readyz still reports ready.
 
 import (
 	"context"
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,9 +59,12 @@ func runServe(args []string) int {
 	stmtTimeout := fs.Duration("stmt-timeout", def.Timeout, "per-statement wall-clock bound (0: unlimited)")
 	parallelism := fs.Int("parallelism", def.Parallelism, "intra-statement evaluation workers per connection")
 	groupCommit := fs.Bool("group-commit", false, "batch concurrent WAL appends into one fsync")
-	replicaOf := fs.String("replica-of", "", "follow this primary and serve read-only (empty: standalone)")
+	replicaOf := fs.String("replica-of", "", "follow this primary and serve read-only; comma-separate candidate addresses (empty: standalone)")
 	primaryToken := fs.String("primary-token", "", "replication token presented to the primary (its admin token)")
 	replName := fs.String("repl-name", "", "label for this follower in the primary's metrics")
+	advertise := fs.String("advertise", "", "address other nodes should reach this node at (empty: the listen address)")
+	peers := fs.String("peers", "", "comma-separated addresses of the other cluster members, for rejoining after a fence")
+	readyMaxLag := fs.Int("ready-max-lag", 0, "replication lag in LSNs at which /readyz still reports ready (0: default)")
 	fs.Parse(args)
 
 	if *replicaOf != "" && (*paper || *load != "") {
@@ -80,17 +92,18 @@ func runServe(args []string) int {
 		fmt.Println("group commit enabled")
 	}
 
+	primaries := splitAddrs(*replicaOf)
 	var rep *replica.Replica
-	if *replicaOf != "" {
+	if len(primaries) > 0 {
 		rep = replica.Start(db.Engine(), replica.Config{
-			Primary: *replicaOf,
-			Token:   *primaryToken,
-			Name:    *replName,
+			Primaries: primaries,
+			Token:     *primaryToken,
+			Name:      *replName,
 			Logf: func(format string, args ...any) {
 				fmt.Printf(format+"\n", args...)
 			},
 		})
-		fmt.Printf("following primary %s (read-only)\n", *replicaOf)
+		fmt.Printf("following primary %s (read-only)\n", primaries[0])
 	}
 
 	admin := db.Admin()
@@ -106,6 +119,10 @@ func runServe(args []string) int {
 		fmt.Printf("loaded %s\n", *load)
 	}
 
+	roPrimary := ""
+	if len(primaries) > 0 {
+		roPrimary = primaries[0]
+	}
 	srv := server.New(db, server.Config{
 		Addr:            *addr,
 		MetricsAddr:     *metricsAddr,
@@ -113,7 +130,10 @@ func runServe(args []string) int {
 		IdleTimeout:     *idle,
 		Grace:           *grace,
 		AdminToken:      *token,
-		ReadOnlyPrimary: *replicaOf,
+		ReadOnlyPrimary: roPrimary,
+		AdvertiseAddr:   *advertise,
+		Peers:           splitAddrs(*peers),
+		ReadyMaxLagLSNs: *readyMaxLag,
 		Limits: authdb.Limits{
 			MaxIntermediateRows: *maxInter,
 			MaxResultRows:       *maxResult,
@@ -124,6 +144,11 @@ func runServe(args []string) int {
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if rep != nil {
+		// The server owns the follower loop from here: it stops it on
+		// promotion and on shutdown, and reports its lag on /readyz.
+		srv.AttachReplica(rep)
 	}
 	fmt.Printf("serving on %s (max %d connections)\n", srv.Addr(), *maxConns)
 	if ma := srv.MetricsAddr(); ma != nil {
@@ -136,16 +161,24 @@ func runServe(args []string) int {
 	fmt.Printf("%s: draining (grace %s)\n", got, *grace)
 	ctx, cancel := context.WithTimeout(context.Background(), *grace+30*time.Second)
 	defer cancel()
+	// srv.Shutdown also stops the attached follower loop (including one
+	// the server started itself after a fence-and-rejoin).
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "shutdown:", err)
 		return 1
 	}
-	if rep != nil {
-		if err := rep.Stop(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "stopping replication:", err)
-			return 1
-		}
-	}
 	fmt.Println("drained")
 	return 0
+}
+
+// splitAddrs parses a comma-separated address list, dropping empty
+// entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

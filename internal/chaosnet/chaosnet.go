@@ -1,0 +1,256 @@
+// Package chaosnet is a fault-injecting TCP proxy for testing the
+// replication and failover machinery under network chaos. A Proxy sits
+// on one link (typically follower → primary) and can, at any moment:
+//
+//   - Partition: hold traffic in both directions. Connections stay
+//     open and data is delivered after Heal — TCP semantics for a
+//     dropped link: delay, not corruption. Senders hit their write
+//     timeouts, which is exactly the path under test.
+//   - Blackhole one direction only (asymmetric partitions: acks lost
+//     while batches still flow, and vice versa).
+//   - Add latency with seeded jitter.
+//   - Cut a connection mid-message after a byte budget — the torn-frame
+//     shape of a crashed peer.
+//   - CutNow: abruptly close every proxied connection.
+//
+// Every random choice comes from a caller-provided seed, so a failing
+// schedule replays exactly.
+package chaosnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// pollInterval is how often a blocked pump re-checks a partition.
+const pollInterval = 5 * time.Millisecond
+
+// Direction selects a traffic direction through the proxy.
+type Direction int
+
+const (
+	// ToTarget is client→target traffic (a follower's hellos and acks).
+	ToTarget Direction = iota
+	// FromTarget is target→client traffic (the primary's batches).
+	FromTarget
+)
+
+// Proxy forwards TCP between its listener and a fixed target, with
+// injectable faults. All methods are safe for concurrent use.
+type Proxy struct {
+	name   string
+	target string
+	ln     net.Listener
+
+	mu       sync.Mutex
+	dropTo   bool // hold client→target
+	dropFrom bool // hold target→client
+	latency  time.Duration
+	jitter   time.Duration
+	cutLeft  int64 // >0: bytes toward target until a mid-message cut
+	rng      *rand.Rand
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// New starts a proxy to target on an ephemeral localhost port. name
+// labels errors; seed drives the jitter.
+func New(name, target string, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaosnet %s: listen: %w", name, err)
+	}
+	p := &Proxy{
+		name: name, target: target, ln: ln,
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[net.Conn]struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address to dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition holds traffic in both directions until Heal.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.dropTo, p.dropFrom = true, true
+	p.mu.Unlock()
+}
+
+// Blackhole holds one direction only.
+func (p *Proxy) Blackhole(dir Direction) {
+	p.mu.Lock()
+	if dir == ToTarget {
+		p.dropTo = true
+	} else {
+		p.dropFrom = true
+	}
+	p.mu.Unlock()
+}
+
+// Heal clears every fault: partitions, blackholes, latency, and any
+// un-triggered cut budget.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.dropTo, p.dropFrom = false, false
+	p.latency, p.jitter = 0, 0
+	p.cutLeft = 0
+	p.mu.Unlock()
+}
+
+// SetLatency delays every chunk by d plus a seeded uniform jitter.
+func (p *Proxy) SetLatency(d, jitter time.Duration) {
+	p.mu.Lock()
+	p.latency, p.jitter = d, jitter
+	p.mu.Unlock()
+}
+
+// CutAfter arms a mid-message cut: after n more bytes toward the
+// target, the connection carrying the n-th byte is closed abruptly in
+// both directions. Choose n to land inside a frame.
+func (p *Proxy) CutAfter(n int64) {
+	p.mu.Lock()
+	p.cutLeft = n
+	p.mu.Unlock()
+}
+
+// CutNow abruptly closes every currently proxied connection. New
+// connections proceed normally.
+func (p *Proxy) CutNow() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down: the listener and every proxied
+// connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.CutNow()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		cc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.serve(cc)
+	}
+}
+
+// serve proxies one accepted connection to the target.
+func (p *Proxy) serve(cc net.Conn) {
+	tc, err := net.Dial("tcp", p.target)
+	if err != nil {
+		cc.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		cc.Close()
+		tc.Close()
+		return
+	}
+	p.conns[cc] = struct{}{}
+	p.conns[tc] = struct{}{}
+	p.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.pump(cc, tc, ToTarget) }()
+	go func() { defer wg.Done(); p.pump(tc, cc, FromTarget) }()
+	wg.Wait()
+	p.mu.Lock()
+	delete(p.conns, cc)
+	delete(p.conns, tc)
+	p.mu.Unlock()
+	cc.Close()
+	tc.Close()
+}
+
+// pump copies src→dst chunk by chunk, applying the current faults to
+// each chunk: latency first, then the partition hold, then the cut
+// budget. A held chunk is delivered after Heal (delay, not loss).
+func (p *Proxy) pump(src, dst net.Conn, dir Direction) {
+	defer dst.Close() // propagate EOF/cuts to the other side
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if !p.admit(int64(n), dir, src, dst) {
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// admit applies latency, partition holds, and the cut budget to one
+// chunk of n bytes; it returns false when the connection was cut.
+func (p *Proxy) admit(n int64, dir Direction, src, dst net.Conn) bool {
+	p.mu.Lock()
+	delay := p.latency
+	if p.jitter > 0 {
+		delay += time.Duration(p.rng.Int63n(int64(p.jitter)))
+	}
+	p.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	for {
+		p.mu.Lock()
+		dropped := (dir == ToTarget && p.dropTo) || (dir == FromTarget && p.dropFrom)
+		p.mu.Unlock()
+		if !dropped {
+			break
+		}
+		// Hold the chunk; deliver when healed, bail when the connection
+		// dies under us (the sender's timeout fired and closed it).
+		time.Sleep(pollInterval)
+		if closedConn(src) || closedConn(dst) {
+			return false
+		}
+	}
+	if dir == ToTarget {
+		p.mu.Lock()
+		if p.cutLeft > 0 {
+			p.cutLeft -= n
+			if p.cutLeft <= 0 {
+				p.cutLeft = 0
+				p.mu.Unlock()
+				src.Close()
+				dst.Close()
+				return false
+			}
+		}
+		p.mu.Unlock()
+	}
+	return true
+}
+
+// closedConn probes whether a connection is already closed by
+// attempting a zero-byte write.
+func closedConn(c net.Conn) bool {
+	if _, err := c.Write(nil); err != nil {
+		return err != io.ErrShortWrite
+	}
+	return false
+}

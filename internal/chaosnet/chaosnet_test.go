@@ -1,0 +1,173 @@
+package chaosnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho runs a TCP echo server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(nc, nc); nc.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+func roundTrip(t *testing.T, nc net.Conn, msg string, timeout time.Duration) (string, error) {
+	t.Helper()
+	nc.SetDeadline(time.Now().Add(timeout))
+	if _, err := nc.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(msg))
+	_, err := io.ReadFull(nc, buf)
+	return string(buf), err
+}
+
+func TestProxyForwards(t *testing.T) {
+	p, err := New("t", startEcho(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc := dialProxy(t, p)
+	got, err := roundTrip(t, nc, "hello", 2*time.Second)
+	if err != nil || got != "hello" {
+		t.Fatalf("echo through proxy = %q, %v", got, err)
+	}
+}
+
+func TestProxyPartitionHoldsThenHealDelivers(t *testing.T) {
+	p, err := New("t", startEcho(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc := dialProxy(t, p)
+	if _, err := roundTrip(t, nc, "warm", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Partition()
+	if _, err := roundTrip(t, nc, "lost", 150*time.Millisecond); err == nil {
+		t.Fatal("read succeeded across a partition")
+	}
+	// Heal: the held chunk is delivered — delay, not loss.
+	p.Heal()
+	nc.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(nc, buf); err != nil || !bytes.Equal(buf, []byte("lost")) {
+		t.Fatalf("post-heal delivery = %q, %v; want the held chunk", buf, err)
+	}
+}
+
+func TestProxyBlackholeIsOneWay(t *testing.T) {
+	p, err := New("t", startEcho(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc := dialProxy(t, p)
+
+	// Returning traffic is dropped: the request reaches the echo server
+	// but the reply never comes back.
+	p.Blackhole(FromTarget)
+	if _, err := roundTrip(t, nc, "ping", 150*time.Millisecond); err == nil {
+		t.Fatal("reply crossed a from-target blackhole")
+	}
+	p.Heal()
+	nc.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatalf("post-heal reply: %v", err)
+	}
+}
+
+func TestProxyCutAfterSeversMidStream(t *testing.T) {
+	p, err := New("t", startEcho(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc := dialProxy(t, p)
+	if _, err := roundTrip(t, nc, "aa", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.CutAfter(3) // lands inside the next 4-byte message
+	nc.SetDeadline(time.Now().Add(2 * time.Second))
+	nc.Write([]byte("bbbb"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(nc, buf); err == nil {
+		t.Fatal("message survived a mid-stream cut")
+	}
+}
+
+func TestProxyLatencyDelays(t *testing.T) {
+	p, err := New("t", startEcho(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc := dialProxy(t, p)
+	p.SetLatency(60*time.Millisecond, 10*time.Millisecond)
+	start := time.Now()
+	if _, err := roundTrip(t, nc, "slow", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Two directions, each delayed at least 60ms.
+	if d := time.Since(start); d < 120*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 120ms of injected latency", d)
+	}
+}
+
+func TestProxyCutNow(t *testing.T) {
+	p, err := New("t", startEcho(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	nc := dialProxy(t, p)
+	if _, err := roundTrip(t, nc, "up", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.CutNow()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := roundTrip(t, nc, "??", 100*time.Millisecond); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection survived CutNow")
+		}
+	}
+	// The proxy itself is still alive for new connections.
+	nc2 := dialProxy(t, p)
+	if got, err := roundTrip(t, nc2, "new!", 2*time.Second); err != nil || got != "new!" {
+		t.Fatalf("new connection after CutNow = %q, %v", got, err)
+	}
+}

@@ -172,6 +172,9 @@ func (s *Session) logStmt(p parser.Stmt) error {
 	if err != nil {
 		return err
 	}
+	if !s.applier {
+		s.eng.noteOriginWrite()
+	}
 	s.pendingWait = w
 	return nil
 }

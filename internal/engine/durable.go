@@ -110,6 +110,10 @@ func openDurableFS(fs faultfs.FS, dir string, opt core.Options) (*Engine, error)
 		// which counted LSNs of its own; reset to the number the snapshot
 		// actually embodies before the WAL replay resumes the count.
 		e.lsn.Store(readSnapLSN(fs, snapDir))
+		if hist := readSnapEpoch(fs, snapDir); hist != nil {
+			e.epochHist = hist
+			e.epoch.Store(hist[len(hist)-1].Epoch)
+		}
 		if err := replayWAL(fs, filepath.Join(dir, walName(gen)), e); err != nil {
 			return nil, err
 		}
@@ -250,6 +254,9 @@ func (e *Engine) checkpointLocked(fs faultfs.FS, dir string, gen uint64) error {
 	// part of the generation (and its MANIFEST), not of the flat Save
 	// export, which is why it is added here and not in snapshotFiles.
 	files[lsnName] = []byte(fmt.Sprintf("%d\n", e.lsn.Load()))
+	// The EPOCH file pins the fencing-epoch history the same way; see
+	// epoch.go.
+	files[epochName] = renderEpochHist(e.epochHist)
 
 	// Build the snapshot in a temp directory: contents, MANIFEST, fsyncs.
 	tmp := filepath.Join(dir, snapName(next)+".tmp")

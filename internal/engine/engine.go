@@ -68,6 +68,18 @@ type Engine struct {
 	// the current generation holds statements snapBase+1..durableLSN.
 	snapBase atomic.Uint64
 
+	// Fencing epochs (epoch.go): epoch mirrors the last entry of
+	// epochHist for lock-free reads (batch stamping, metrics); epochHist
+	// is guarded by e.mu. roleReadOnly fences every non-applier session's
+	// writes when the node is (or was demoted to) a replica.
+	epoch        atomic.Uint64
+	epochHist    []EpochEntry
+	roleReadOnly atomic.Bool
+	// originEpochWrites counts locally originated (non-applier) mutations
+	// per epoch; the chaos harness's dual-primary check reads it.
+	originMu          sync.Mutex
+	originEpochWrites map[uint64]uint64
+
 	// Group-commit machinery (commit.go): staged records awaiting one
 	// shared fsync, the flusher that writes them, and the WAL handle
 	// mirror the flusher appends through without holding e.mu.
@@ -101,7 +113,9 @@ func New(opt core.Options) *Engine {
 		met:        metrics.NewRegistry(),
 		commitWake: make(chan struct{}, 1),
 		subs:       make(map[*CommitSub]struct{}),
+		epochHist:  []EpochEntry{{Epoch: 1, StartLSN: 0}},
 	}
+	e.epoch.Store(1)
 	e.commitCond = sync.NewCond(&e.commitMu)
 	e.registerMetrics()
 	return e
@@ -192,6 +206,11 @@ type Session struct {
 	// fsync; the replication applier uses it to batch a whole REPL_BATCH
 	// into one sync (it calls Engine.WaitDurable before acknowledging).
 	asyncCommit bool
+	// applier marks the session as a replication applier: it bypasses
+	// the engine's role fence (a demoted node must still apply the new
+	// primary's stream) and its writes are not counted as locally
+	// originated by the dual-primary check.
+	applier bool
 	// pendingWait is the group-commit waiter of the statement being
 	// executed, set by logStmt and consumed by ExecStmtContext after the
 	// engine lock is released.
@@ -221,6 +240,11 @@ func (s *Session) SetReadOnly(on bool) { s.readOnly = on }
 // staged, without waiting for WAL durability; pair with
 // Engine.WaitDurable to make a batch durable with one sync.
 func (s *Session) SetAsyncCommit(on bool) { s.asyncCommit = on }
+
+// SetApplier marks the session as a replication applier: exempt from
+// the engine's role fence (SetRoleReadOnly) and from the origin-write
+// accounting — its statements originate on the primary, not here.
+func (s *Session) SetApplier(on bool) { s.applier = on }
 
 // Limits returns the session's per-statement resource limits.
 func (s *Session) Limits() guard.Limits { return s.limits }
@@ -286,7 +310,7 @@ func (s *Session) ExecStmtContext(ctx context.Context, p parser.Stmt) (res *Resu
 	if ctx != nil && ctx.Err() != nil {
 		return nil, fmt.Errorf("%w: %v", guard.ErrCanceled, ctx.Err())
 	}
-	if s.readOnly && Mutating(p) {
+	if (s.readOnly || (!s.applier && s.eng.roleReadOnly.Load())) && Mutating(p) {
 		return nil, fmt.Errorf("%w: %s is a write", ErrReadOnly, stmtKind(p))
 	}
 	res, err = s.execStmt(ctx, p)

@@ -66,6 +66,9 @@ func (e *Engine) registerMetrics() {
 	e.met.GaugeFunc("authdb_snapshot_generation", func() float64 {
 		return float64(e.snapGen.Load())
 	})
+	e.met.GaugeFunc("authdb_repl_epoch", func() float64 {
+		return float64(e.epoch.Load())
+	})
 }
 
 // stmtKind names a statement for the per-kind request counters.

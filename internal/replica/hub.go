@@ -57,6 +57,20 @@ type Hub struct {
 	met  *metrics.Registry
 	shut chan struct{}
 
+	// buf and writeTO mirror followerBuf and writeTimeout; the
+	// slow-follower tests and the chaos harness shrink them to hit the
+	// disconnect paths in bounded time.
+	buf     int
+	writeTO time.Duration
+	// onFence is invoked when a follower proves this node's epoch stale —
+	// a ReplFence on the ack stream, or a hello announcing a higher
+	// epoch. The server demotes the node in it.
+	onFence atomic.Pointer[func(epoch uint64, leader string)]
+	// unsafeNoFencing disables every epoch check (the deliberately broken
+	// build the chaos harness uses to prove its dual-primary check has
+	// teeth). Never set outside tests.
+	unsafeNoFencing bool
+
 	mu        sync.Mutex
 	closed    bool
 	followers map[*follower]struct{}
@@ -81,6 +95,8 @@ func NewHub(eng *engine.Engine) *Hub {
 		met:       eng.Metrics(),
 		shut:      make(chan struct{}),
 		followers: make(map[*follower]struct{}),
+		buf:       followerBuf,
+		writeTO:   writeTimeout,
 	}
 	h.met.GaugeFunc("authdb_repl_followers", func() float64 {
 		return float64(h.FollowerCount())
@@ -90,6 +106,44 @@ func NewHub(eng *engine.Engine) *Hub {
 		return float64(maxLag)
 	})
 	return h
+}
+
+// SetOnFence installs the callback invoked (from a stream goroutine)
+// when a follower proves this node's epoch stale; the server demotes
+// the node to read-only in it.
+func (h *Hub) SetOnFence(fn func(epoch uint64, leader string)) {
+	h.onFence.Store(&fn)
+}
+
+// fenced reports a stale-epoch signal to the fence callback.
+func (h *Hub) fenced(epoch uint64, leader string) {
+	h.met.Counter("authdb_repl_fenced_total").Inc()
+	if fn := h.onFence.Load(); fn != nil {
+		(*fn)(epoch, leader)
+	}
+}
+
+// SetFollowerBuffer overrides the per-follower commit buffer (tests).
+func (h *Hub) SetFollowerBuffer(n int) { h.buf = n }
+
+// SetWriteTimeout overrides the per-batch write timeout (tests).
+func (h *Hub) SetWriteTimeout(d time.Duration) { h.writeTO = d }
+
+// SetUnsafeNoFencing disables every epoch check on this hub — the
+// deliberately broken build the chaos harness uses to prove the
+// dual-primary detector has teeth. Never enable in production.
+func (h *Hub) SetUnsafeNoFencing(on bool) { h.unsafeNoFencing = on }
+
+// DropFollowers force-closes every live follower stream. Called on
+// demotion: a node that just learned its timeline is dead must not
+// keep feeding it to followers — they reconnect, get refused with a
+// leader hint, and re-home to the new primary.
+func (h *Hub) DropFollowers() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for f := range h.followers {
+		f.conn.Close()
+	}
 }
 
 // FollowerCount reports the live follower streams.
@@ -125,10 +179,25 @@ func (h *Hub) ackStats() (minAcked, maxLag uint64) {
 func (h *Hub) HandleConn(nc net.Conn, br *bufio.Reader, hello wire.ReplHello) {
 	bw := bufio.NewWriter(nc)
 	reject := func(we *wire.Error) {
-		nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		nc.SetWriteDeadline(time.Now().Add(h.writeTO))
 		if wire.WriteMsg(bw, wire.ReplHelloReply{OK: false, Error: we}) == nil {
 			bw.Flush()
 		}
+	}
+
+	// Epoch fencing. A hello announcing a higher epoch proves this node
+	// was superseded while it wasn't looking: refuse the stream and
+	// demote. Zero is a pre-epoch follower, treated as epoch 1.
+	helloEpoch := hello.Epoch
+	if helloEpoch == 0 {
+		helloEpoch = 1
+	}
+	if !h.unsafeNoFencing && helloEpoch > h.eng.Epoch() {
+		h.fenced(helloEpoch, hello.Leader)
+		reject(&wire.Error{Code: wire.CodeStalePrimary, Leader: hello.Leader,
+			Message: fmt.Sprintf("fenced: follower %s is at epoch %d, this node at %d",
+				hello.Name, helloEpoch, h.eng.Epoch())})
+		return
 	}
 
 	h.mu.Lock()
@@ -158,18 +227,32 @@ func (h *Hub) HandleConn(nc net.Conn, br *bufio.Reader, hello wire.ReplHello) {
 	// was durable before the subscription) or in the channel, and the
 	// LSN filter in sendBatches drops the overlap. Subscribing after
 	// would open a gap.
-	sub := h.eng.SubscribeCommits(followerBuf)
+	sub := h.eng.SubscribeCommits(h.buf)
 	defer h.eng.UnsubscribeCommits(sub)
 
-	reply := wire.ReplHelloReply{OK: true, Gen: h.eng.Generation()}
+	reply := wire.ReplHelloReply{OK: true, Gen: h.eng.Generation(),
+		Epoch: h.eng.Epoch(), EpochHist: wireEpochHist(h.eng.EpochHistory())}
 	var pending []engine.Commit
 	next := hello.From + 1
+	// A follower stuck on a stale epoch may hold statements no current
+	// history contains: anything it applied past the fork — the start of
+	// the first epoch it never adopted. Tell it where the fork is so it
+	// quarantines its suffix, and always resync it by snapshot (its WAL
+	// position is meaningless past the fork).
+	diverged := false
+	if !h.unsafeNoFencing && helloEpoch < h.eng.Epoch() {
+		if fork, ok := h.eng.ForkLSN(helloEpoch); ok && hello.From > fork {
+			diverged = true
+			reply.Diverged, reply.Fork = true, fork
+			h.met.Counter("authdb_repl_diverged_followers_total").Inc()
+		}
+	}
 	tail, ok, err := h.eng.WALTail(hello.From)
 	switch {
 	case err != nil:
 		reject(&wire.Error{Code: wire.CodeInternal, Message: err.Error()})
 		return
-	case ok:
+	case ok && !diverged:
 		reply.Mode = wire.ReplModeTail
 		pending = tail
 	default:
@@ -183,7 +266,7 @@ func (h *Hub) HandleConn(nc net.Conn, br *bufio.Reader, hello wire.ReplHello) {
 		next = lsn + 1
 		h.met.Counter("authdb_repl_snapshots_sent_total").Inc()
 	}
-	nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	nc.SetWriteDeadline(time.Now().Add(h.writeTO))
 	if err := wire.WriteMsg(bw, reply); err != nil {
 		return
 	}
@@ -264,9 +347,10 @@ func (h *Hub) sendBatches(f *follower, bw *bufio.Writer, next uint64, cs []engin
 			next++
 		}
 		start := time.Now()
-		f.conn.SetWriteDeadline(start.Add(writeTimeout))
+		f.conn.SetWriteDeadline(start.Add(h.writeTO))
 		if err := wire.WriteMsg(bw, wire.ReplBatch{
 			Kind: wire.KindReplBatch, From: from, Stmts: stmts,
+			Epoch:        h.eng.Epoch(),
 			SentUnixNano: start.UnixNano(),
 		}); err != nil {
 			return next, err
@@ -290,18 +374,40 @@ func (h *Hub) readAcks(f *follower, br *bufio.Reader) {
 		if err != nil {
 			return
 		}
-		if wire.MsgKind(payload) != wire.KindReplAck {
-			continue
+		switch wire.MsgKind(payload) {
+		case wire.KindReplAck:
+			var ack wire.ReplAck
+			if json.Unmarshal(payload, &ack) != nil {
+				continue
+			}
+			if ack.Applied > f.acked.Load() {
+				f.acked.Store(ack.Applied)
+			}
+			h.met.Counter("authdb_repl_acks_total").Inc()
+		case wire.KindReplFence:
+			// The follower adopted a higher epoch than this stream's: we
+			// are a stale primary. Demote and drop the stream — the fence
+			// beats finishing the batch in flight.
+			var fence wire.ReplFence
+			if json.Unmarshal(payload, &fence) != nil {
+				continue
+			}
+			if !h.unsafeNoFencing && fence.Epoch > h.eng.Epoch() {
+				h.fenced(fence.Epoch, fence.Leader)
+				f.conn.Close()
+				return
+			}
 		}
-		var ack wire.ReplAck
-		if json.Unmarshal(payload, &ack) != nil {
-			continue
-		}
-		if ack.Applied > f.acked.Load() {
-			f.acked.Store(ack.Applied)
-		}
-		h.met.Counter("authdb_repl_acks_total").Inc()
 	}
+}
+
+// wireEpochHist converts the engine's history to its wire form.
+func wireEpochHist(hist []engine.EpochEntry) []wire.EpochEntry {
+	out := make([]wire.EpochEntry, len(hist))
+	for i, ent := range hist {
+		out[i] = wire.EpochEntry{Epoch: ent.Epoch, StartLSN: ent.StartLSN}
+	}
+	return out
 }
 
 // waitAcked gives a follower a bounded window to ack everything already

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +27,11 @@ import (
 type Config struct {
 	// Primary is the primary's wire-protocol address.
 	Primary string
+	// Primaries lists every address that might be (or become) the
+	// primary; the replica rotates through them on failure and jumps to
+	// leader hints carried by STALE_PRIMARY refusals. When empty,
+	// Primary alone is used.
+	Primaries []string
 	// Token authenticates the stream (the primary's admin token).
 	Token string
 	// Name labels this follower in the primary's metrics.
@@ -43,6 +49,12 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if len(c.Primaries) == 0 && c.Primary != "" {
+		c.Primaries = []string{c.Primary}
+	}
+	if c.Primary == "" && len(c.Primaries) > 0 {
+		c.Primary = c.Primaries[0]
+	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
 	}
@@ -73,12 +85,22 @@ type Replica struct {
 	done chan struct{}
 
 	connected atomic.Bool
+	// bootstrapped flips once the first handshake completes (snapshot
+	// installed or tail accepted); /readyz gates on it.
+	bootstrapped atomic.Bool
 	// primaryLSN is the highest LSN the primary has announced (the end
 	// of the last received batch); lag is primaryLSN - engine LSN.
 	primaryLSN atomic.Uint64
 	// behindNanos is the age of the last applied batch (primary send
 	// time to apply time), zero when caught up.
 	behindNanos atomic.Int64
+
+	// addrMu guards the rotation through cfg.Primaries, the pending
+	// leader hint, and the last address that accepted a stream.
+	addrMu  sync.Mutex
+	addrIdx int
+	hint    string
+	leader  string
 }
 
 // Start connects eng to the primary described by cfg and keeps it
@@ -128,6 +150,51 @@ func (r *Replica) Lag() (lsns uint64, seconds float64) {
 // Connected reports whether a stream to the primary is live.
 func (r *Replica) Connected() bool { return r.connected.Load() }
 
+// Bootstrapped reports whether the replica has completed at least one
+// handshake (snapshot installed, or its position accepted for tailing)
+// since Start; /readyz answers 503 until then.
+func (r *Replica) Bootstrapped() bool { return r.bootstrapped.Load() }
+
+// Leader returns the address of the last primary that accepted a
+// stream — the replica's best knowledge of where the leader is (""
+// before the first successful handshake).
+func (r *Replica) Leader() string {
+	r.addrMu.Lock()
+	defer r.addrMu.Unlock()
+	return r.leader
+}
+
+// setHint records a leader hint from a refusal; the next dial tries it
+// first.
+func (r *Replica) setHint(addr string) {
+	if addr == "" {
+		return
+	}
+	r.addrMu.Lock()
+	r.hint = addr
+	r.addrMu.Unlock()
+}
+
+// nextAddr picks the dial target: a pending leader hint wins, else the
+// current slot of the rotation.
+func (r *Replica) nextAddr() string {
+	r.addrMu.Lock()
+	defer r.addrMu.Unlock()
+	if r.hint != "" {
+		a := r.hint
+		r.hint = ""
+		return a
+	}
+	return r.cfg.Primaries[r.addrIdx%len(r.cfg.Primaries)]
+}
+
+// rotateAddr advances the rotation after a failed stream.
+func (r *Replica) rotateAddr() {
+	r.addrMu.Lock()
+	r.addrIdx++
+	r.addrMu.Unlock()
+}
+
 // Stop ends the follower loop and waits for it (bounded by ctx).
 func (r *Replica) Stop(ctx context.Context) error {
 	select {
@@ -155,7 +222,8 @@ func (r *Replica) run() {
 			return
 		default:
 		}
-		applied, err := r.stream()
+		addr := r.nextAddr()
+		applied, err := r.stream(addr)
 		r.connected.Store(false)
 		select {
 		case <-r.stop:
@@ -163,8 +231,9 @@ func (r *Replica) run() {
 		default:
 		}
 		if err != nil {
-			r.cfg.Logf("replica: stream to %s: %v", r.cfg.Primary, err)
+			r.cfg.Logf("replica: stream to %s: %v", addr, err)
 			r.met.Counter("authdb_repl_reconnects_total").Inc()
+			r.rotateAddr()
 		}
 		if applied > 0 {
 			backoff = r.cfg.BackoffMin
@@ -187,9 +256,9 @@ func (r *Replica) run() {
 // snapshot install if the primary says so, then the apply loop. It
 // returns how many statements it applied (for backoff reset) and the
 // error that ended the stream.
-func (r *Replica) stream() (applied int, err error) {
+func (r *Replica) stream(addr string) (applied int, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout)
-	conn, err := r.cfg.Dial(ctx, r.cfg.Primary)
+	conn, err := r.cfg.Dial(ctx, addr)
 	cancel()
 	if err != nil {
 		return 0, err
@@ -213,6 +282,7 @@ func (r *Replica) stream() (applied int, err error) {
 	if err := wire.WriteMsg(bw, wire.ReplHello{
 		Kind: wire.KindReplHello, Proto: wire.ProtoVersion,
 		Token: r.cfg.Token, From: from, Name: r.cfg.Name,
+		Epoch: r.eng.Epoch(), Leader: r.Leader(),
 	}); err != nil {
 		return 0, err
 	}
@@ -225,12 +295,39 @@ func (r *Replica) stream() (applied int, err error) {
 	}
 	if !reply.OK {
 		if reply.Error != nil {
+			r.setHint(reply.Error.Leader)
 			return 0, fmt.Errorf("primary refused stream: %w", reply.Error)
 		}
 		return 0, fmt.Errorf("primary refused stream")
 	}
+	// A primary on a lower epoch than ours has been superseded and
+	// doesn't know it yet: fence it and move on. Zero is a pre-epoch
+	// primary, treated as epoch 1.
+	replyEpoch := reply.Epoch
+	if replyEpoch == 0 {
+		replyEpoch = 1
+	}
+	if replyEpoch < r.eng.Epoch() {
+		wire.WriteMsg(bw, wire.ReplFence{
+			Kind: wire.KindReplFence, Epoch: r.eng.Epoch(), Leader: r.Leader(),
+		})
+		bw.Flush()
+		return 0, fmt.Errorf("fencing stale primary %s (epoch %d, ours %d)", addr, replyEpoch, r.eng.Epoch())
+	}
 	conn.SetDeadline(time.Time{})
 
+	if reply.Diverged {
+		// We accepted statements past the fork under a stale epoch; no
+		// current history contains them. Quarantine before the snapshot
+		// overwrites them — an acked write is never silently dropped.
+		qdir, err := r.eng.QuarantineDiverged(reply.Fork)
+		if err != nil {
+			return 0, fmt.Errorf("quarantining divergent suffix past lsn %d: %w", reply.Fork, err)
+		}
+		if qdir != "" {
+			r.cfg.Logf("replica: quarantined divergent statements past lsn %d into %s", reply.Fork, qdir)
+		}
+	}
 	if reply.Mode == wire.ReplModeSnapshot {
 		if err := r.eng.ResetFromSnapshot(reply.Snapshot, reply.SnapshotLSN); err != nil {
 			return 0, fmt.Errorf("installing snapshot at lsn %d: %w", reply.SnapshotLSN, err)
@@ -238,15 +335,27 @@ func (r *Replica) stream() (applied int, err error) {
 		r.met.Counter("authdb_repl_snapshots_installed_total").Inc()
 		r.cfg.Logf("replica: bootstrapped from snapshot at lsn %d (gen %d)", reply.SnapshotLSN, reply.Gen)
 	}
+	if len(reply.EpochHist) > 0 {
+		if err := r.eng.AdoptEpochHistory(engineEpochHist(reply.EpochHist)); err != nil {
+			return 0, fmt.Errorf("adopting epoch history: %w", err)
+		}
+	}
+	r.addrMu.Lock()
+	r.leader = addr
+	r.addrMu.Unlock()
 	r.connected.Store(true)
-	r.cfg.Logf("replica: following %s from lsn %d (%s mode)", r.cfg.Primary, r.eng.DurableLSN(), reply.Mode)
+	r.bootstrapped.Store(true)
+	r.cfg.Logf("replica: following %s from lsn %d (%s mode, epoch %d)", addr, r.eng.DurableLSN(), reply.Mode, r.eng.Epoch())
 
 	// The applier: one admin session, no per-statement limits (the
 	// primary already executed these statements), async commit so a
-	// whole batch shares one durability wait.
+	// whole batch shares one durability wait. SetApplier exempts it from
+	// the role fence — a demoted ex-primary must still follow — and from
+	// the origin-write accounting.
 	sess := r.eng.NewSession("admin", true)
 	sess.SetLimits(guard.Limits{})
 	sess.SetAsyncCommit(true)
+	sess.SetApplier(true)
 
 	for {
 		payload, err := wire.ReadFrame(br)
@@ -259,6 +368,18 @@ func (r *Replica) stream() (applied int, err error) {
 		var batch wire.ReplBatch
 		if err := json.Unmarshal(payload, &batch); err != nil {
 			return applied, fmt.Errorf("malformed batch: %w", err)
+		}
+		// A batch from a lower epoch means the sender went stale
+		// mid-stream (typically: this very node was just promoted).
+		// Fence it rather than apply.
+		if batch.Epoch != 0 && batch.Epoch < r.eng.Epoch() {
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			wire.WriteMsg(bw, wire.ReplFence{
+				Kind: wire.KindReplFence, Epoch: r.eng.Epoch(), Leader: r.Leader(),
+			})
+			bw.Flush()
+			return applied, fmt.Errorf("fencing stale primary %s mid-stream (batch epoch %d, ours %d)",
+				addr, batch.Epoch, r.eng.Epoch())
 		}
 		n, err := r.applyBatch(sess, batch)
 		applied += n
@@ -275,6 +396,15 @@ func (r *Replica) stream() (applied int, err error) {
 			return applied, err
 		}
 	}
+}
+
+// engineEpochHist converts a wire epoch history to the engine's form.
+func engineEpochHist(hist []wire.EpochEntry) []engine.EpochEntry {
+	out := make([]engine.EpochEntry, len(hist))
+	for i, ent := range hist {
+		out[i] = engine.EpochEntry{Epoch: ent.Epoch, StartLSN: ent.StartLSN}
+	}
+	return out
 }
 
 // applyBatch applies one contiguous statement run in LSN order,

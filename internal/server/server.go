@@ -88,6 +88,23 @@ type Config struct {
 	// every session is read-only and mutating statements fail with the
 	// READ_ONLY code naming this primary address.
 	ReadOnlyPrimary string
+	// AdvertiseAddr is the wire address this node hands out in leader
+	// hints (READ_ONLY/STALE_PRIMARY errors, replication fences); empty
+	// means the actual listen address. Set it when clients reach the
+	// node through a proxy or a different interface.
+	AdvertiseAddr string
+	// Peers lists the other nodes' wire addresses; a fenced ex-primary
+	// uses them (leader hint first) to rejoin the cluster as a follower
+	// automatically.
+	Peers []string
+	// ReadyMaxLagLSNs is the /readyz threshold: a replica lagging more
+	// LSNs than this answers 503. <= 0 means 1024.
+	ReadyMaxLagLSNs int
+	// UnsafeNoFencing disables epoch fencing on this node — promotion
+	// skips the epoch bump and the hub skips every epoch check. Exists
+	// solely so the chaos harness can demonstrate the split-brain its
+	// checks must catch; never enable in production.
+	UnsafeNoFencing bool
 }
 
 // Server serves one database over the wire protocol.
@@ -116,6 +133,16 @@ type Server struct {
 	// hub owns the replication follower streams (see internal/replica);
 	// connections whose first frame is a REPL_HELLO are routed to it.
 	hub *replica.Hub
+
+	// Role state. A server is either the serving primary or a read-only
+	// replica; the role can flip at runtime (Promote, or a fence
+	// demotion) and is enforced engine-wide via SetRoleReadOnly so
+	// existing sessions feel it too.
+	roleMu     sync.Mutex
+	isReplica  bool
+	fenced     bool   // demoted by a fence: answer STALE_PRIMARY, not READ_ONLY
+	leaderAddr string // best-known leader, for hints ("" when unknown)
+	rep        *replica.Replica
 }
 
 // Hub exposes the server's replication hub (follower streams).
@@ -146,8 +173,149 @@ func New(db *authdb.DB, cfg Config) *Server {
 		activeConns: met.Gauge("authdb_server_connections_active"),
 	}
 	s.hub = replica.NewHub(db.Engine())
+	s.hub.SetUnsafeNoFencing(cfg.UnsafeNoFencing)
+	s.hub.SetOnFence(s.demote)
+	if cfg.ReadOnlyPrimary != "" {
+		// Born a replica: the engine-wide role fence makes every session
+		// read-only, including ones opened before a later promotion flips
+		// the role back.
+		s.isReplica = true
+		s.leaderAddr = cfg.ReadOnlyPrimary
+		db.Engine().SetRoleReadOnly(true)
+	}
+	met.GaugeFunc("authdb_role", func() float64 { return roleBit(s.Role() == "primary") }, "role", "primary")
+	met.GaugeFunc("authdb_role", func() float64 { return roleBit(s.Role() == "replica") }, "role", "replica")
 	s.baseCtx, s.cancelInflight = context.WithCancel(context.Background())
 	return s
+}
+
+func roleBit(on bool) float64 {
+	if on {
+		return 1
+	}
+	return 0
+}
+
+// Role reports the node's current role: "primary" or "replica".
+func (s *Server) Role() string {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if s.isReplica {
+		return "replica"
+	}
+	return "primary"
+}
+
+// Leader returns the node's best knowledge of the current leader's
+// address: its own advertise address when primary, the followed (or
+// fence-announced) leader when a replica, "" when unknown.
+func (s *Server) Leader() string {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	return s.leaderLocked()
+}
+
+func (s *Server) leaderLocked() string {
+	if !s.isReplica {
+		return s.advertise()
+	}
+	if s.rep != nil {
+		if l := s.rep.Leader(); l != "" {
+			return l
+		}
+	}
+	return s.leaderAddr
+}
+
+// advertise is the address this node hands out in leader hints.
+func (s *Server) advertise() string {
+	if s.cfg.AdvertiseAddr != "" {
+		return s.cfg.AdvertiseAddr
+	}
+	if s.ln != nil {
+		return s.ln.Addr().String()
+	}
+	return s.cfg.Addr
+}
+
+// AttachReplica hands the server the follower loop that feeds its
+// engine, so /readyz can report bootstrap and lag, leader hints can
+// name the live primary, and Promote/Shutdown can stop it.
+func (s *Server) AttachReplica(rep *replica.Replica) {
+	s.roleMu.Lock()
+	s.rep = rep
+	s.roleMu.Unlock()
+}
+
+// Promote turns a replica into the serving primary: stop the follower
+// loop (draining its applier), bump the fencing epoch — durably, so
+// the claim survives a crash — and lift the engine's role fence. The
+// old primary learns it was superseded the moment it next touches this
+// node or any follower that adopted the new epoch. Promoting a primary
+// is a harmless no-op.
+func (s *Server) Promote(ctx context.Context) (uint64, error) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if !s.isReplica {
+		return s.db.Engine().Epoch(), nil
+	}
+	if s.rep != nil {
+		if err := s.rep.Stop(ctx); err != nil {
+			return 0, fmt.Errorf("stopping follower loop: %w", err)
+		}
+		s.rep = nil
+	}
+	epoch := s.db.Engine().Epoch()
+	if !s.cfg.UnsafeNoFencing {
+		var err error
+		if epoch, err = s.db.Engine().BumpEpoch(); err != nil {
+			return 0, fmt.Errorf("bumping epoch: %w", err)
+		}
+	}
+	s.db.Engine().SetRoleReadOnly(false)
+	s.isReplica = false
+	s.fenced = false
+	s.leaderAddr = ""
+	s.met.Counter("authdb_failover_total", "kind", "promote").Inc()
+	return epoch, nil
+}
+
+// demote is the hub's fence callback: a follower (or new primary) on a
+// higher epoch told this node it has been superseded. Re-fence the
+// engine read-only, remember the announced leader, and rejoin the
+// cluster as a follower so the divergence-quarantine handshake runs
+// against the new primary.
+func (s *Server) demote(epoch uint64, leader string) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if s.isReplica {
+		return
+	}
+	s.db.Engine().SetRoleReadOnly(true)
+	s.isReplica = true
+	s.fenced = true
+	s.leaderAddr = leader
+	s.met.Counter("authdb_failover_total", "kind", "demote").Inc()
+	// Followers of the dead timeline must re-home, not keep tailing us.
+	s.hub.DropFollowers()
+	if s.draining.Load() {
+		return
+	}
+	// Rejoin as a follower over the known peers, the announced leader
+	// first. Without peers (or a leader) the node stays a fenced,
+	// read-only island until an operator intervenes.
+	addrs := s.cfg.Peers
+	if leader != "" {
+		addrs = append([]string{leader}, addrs...)
+	}
+	if len(addrs) == 0 {
+		return
+	}
+	s.rep = replica.Start(s.db.Engine(), replica.Config{
+		Primaries: addrs,
+		Token:     s.cfg.AdminToken,
+		Name:      s.advertise(),
+	})
 }
 
 // Start listens on the configured addresses and begins serving in
@@ -256,6 +424,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	// Stop the follower loop (if this node is a replica) so its applier
+	// finishes cleanly before the engine quiesces.
+	s.roleMu.Lock()
+	rep := s.rep
+	s.rep = nil
+	s.roleMu.Unlock()
+	if rep != nil {
+		rep.Stop(ctx)
+	}
 	// Drain follower streams first: each stops at its current batch and
 	// gets a bounded window to ack what was already sent, so a restart
 	// of the fleet resumes with no re-sent work. Must run before
@@ -336,7 +513,7 @@ func (s *Server) handle(nc net.Conn) {
 			// lost), so closing is the error signal.
 			return
 		}
-		resp := s.execute(sess, req)
+		resp := s.execute(sess, hello.Admin, req)
 		nc.SetWriteDeadline(time.Now().Add(writeTimeout))
 		if err := wire.WriteMsg(bw, &resp); err != nil {
 			return
@@ -378,6 +555,17 @@ func (s *Server) handleRepl(nc net.Conn, br *bufio.Reader, first []byte) {
 		refuse(&wire.Error{Code: wire.CodeNotAuthorized, Message: "bad replication token"})
 		return
 	}
+	// A replica does not feed followers (no chained replication — a
+	// cycle of replicas would tail each other forever); point the dialer
+	// at the leader instead.
+	s.roleMu.Lock()
+	isRep, leader := s.isReplica, s.leaderLocked()
+	s.roleMu.Unlock()
+	if isRep {
+		refuse(&wire.Error{Code: wire.CodeReadOnly, Retryable: true, Leader: leader,
+			Message: "node is a replica; replicate from the leader"})
+		return
+	}
 	s.met.Counter("authdb_server_repl_streams_total").Inc()
 	s.hub.HandleConn(nc, br, hello)
 }
@@ -396,16 +584,15 @@ func (s *Server) authenticate(h wire.Hello) (*authdb.Session, *wire.Error) {
 		subtle.ConstantTimeCompare([]byte(h.Token), []byte(s.cfg.AdminToken)) != 1 {
 		return nil, &wire.Error{Code: wire.CodeNotAuthorized, Message: "bad admin token"}
 	}
-	sess := s.db.SessionFor(h.User, h.Admin).SetLimits(s.cfg.Limits)
-	if s.cfg.ReadOnlyPrimary != "" {
-		sess.SetReadOnly(true)
-	}
-	return sess, nil
+	// No per-session SetReadOnly here: replica read-onlyness is the
+	// engine-wide role fence, so promotion and demotion reach sessions
+	// opened before the role changed.
+	return s.db.SessionFor(h.User, h.Admin).SetLimits(s.cfg.Limits), nil
 }
 
 // execute runs one request on the connection's session under the
 // server's drain context plus the request's own deadline.
-func (s *Server) execute(sess *authdb.Session, req wire.Request) wire.Response {
+func (s *Server) execute(sess *authdb.Session, admin bool, req wire.Request) wire.Response {
 	if s.draining.Load() {
 		return wire.Response{ID: req.ID, Error: &wire.Error{
 			Code: wire.CodeShuttingDown, Message: "server is shutting down", Retryable: true}}
@@ -417,16 +604,45 @@ func (s *Server) execute(sess *authdb.Session, req wire.Request) wire.Response {
 		defer cancel()
 	}
 	s.met.Counter("authdb_server_requests_total").Inc()
+	if strings.TrimSpace(req.Stmt) == `\promote` {
+		return s.executePromote(ctx, admin, req.ID)
+	}
 	res, err := sess.Dispatch(ctx, req.Stmt)
 	if err != nil {
 		we := wire.ErrorFor(err)
-		if we.Code == wire.CodeReadOnly && s.cfg.ReadOnlyPrimary != "" {
-			we.Message = fmt.Sprintf("%s; send writes to the primary at %s", we.Message, s.cfg.ReadOnlyPrimary)
+		if we.Code == wire.CodeReadOnly {
+			s.roleMu.Lock()
+			fenced, leader := s.fenced, s.leaderLocked()
+			s.roleMu.Unlock()
+			we.Leader = leader
+			if fenced {
+				// A fenced ex-primary refusing a write is not merely
+				// read-only — it was superseded; the distinct code tells
+				// clients their leader cache is stale, not just wrong.
+				we.Code = wire.CodeStalePrimary
+			}
+			if leader != "" {
+				we.Message = fmt.Sprintf("%s; send writes to the primary at %s", we.Message, leader)
+			}
 		}
 		s.met.Counter("authdb_server_errors_total", "code", we.Code).Inc()
 		return wire.Response{ID: req.ID, Error: we}
 	}
 	return responseOf(req.ID, res)
+}
+
+// executePromote serves the admin-only \promote statement.
+func (s *Server) executePromote(ctx context.Context, admin bool, id uint64) wire.Response {
+	if !admin {
+		return wire.Response{ID: id, Error: &wire.Error{
+			Code: wire.CodeNotAuthorized, Message: "\\promote requires an administrator connection"}}
+	}
+	epoch, err := s.Promote(ctx)
+	if err != nil {
+		return wire.Response{ID: id, Error: wire.ErrorFor(err)}
+	}
+	text := fmt.Sprintf("promoted to primary (epoch %d)", epoch)
+	return wire.Response{ID: id, Text: text, Rendered: text + "\n"}
 }
 
 // responseOf converts a session result to its wire form, including the

@@ -32,6 +32,10 @@ const (
 	// message names the primary to send writes to. Deterministic here —
 	// clients must redial the primary, not retry.
 	CodeReadOnly = "READ_ONLY"
+	// CodeStalePrimary: the node was the primary but has been fenced by a
+	// higher epoch (a replica was promoted over it); it now refuses
+	// writes. Error.Leader carries the new leader when known.
+	CodeStalePrimary = "STALE_PRIMARY"
 	// CodeExec: any other execution failure (unknown relation or view,
 	// arity mismatch, duplicate definitions, …). Deterministic.
 	CodeExec = "EXEC"

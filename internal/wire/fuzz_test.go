@@ -25,12 +25,19 @@ func seedFrames(tb testing.TB) [][]byte {
 		frame(Request{ID: 9, Stmt: "retrieve (EMPLOYEE.NAME)", TimeoutMS: 100}),
 		frame(Response{ID: 9, Rendered: "…", Permits: []string{"permit (NAME)"},
 			Error: &Error{Code: CodeExec, Message: "nope"}}),
-		frame(ReplHello{Kind: KindReplHello, Proto: ProtoVersion, Token: "t", From: 41, Name: "r1"}),
+		frame(ReplHello{Kind: KindReplHello, Proto: ProtoVersion, Token: "t", From: 41, Name: "r1",
+			Epoch: 3, Leader: "127.0.0.1:4100"}),
 		frame(ReplHelloReply{OK: true, Mode: ReplModeSnapshot,
 			Snapshot: map[string][]byte{"schema.authdb": []byte("relation R (A);\n")}, SnapshotLSN: 41, Gen: 3}),
+		frame(ReplHelloReply{OK: true, Mode: ReplModeSnapshot, Epoch: 4,
+			EpochHist: []EpochEntry{{Epoch: 1, StartLSN: 0}, {Epoch: 4, StartLSN: 41}},
+			Diverged:  true, Fork: 41, SnapshotLSN: 50}),
 		frame(ReplHelloReply{OK: false, Error: &Error{Code: CodeProtocol, Message: "bad token"}}),
-		frame(ReplBatch{Kind: KindReplBatch, From: 42, Stmts: []string{"insert into R values (x)", "permit V to U"}}),
+		frame(ReplBatch{Kind: KindReplBatch, From: 42, Epoch: 2, Stmts: []string{"insert into R values (x)", "permit V to U"}}),
 		frame(ReplAck{Kind: KindReplAck, Applied: 43}),
+		frame(ReplFence{Kind: KindReplFence, Epoch: 5, Leader: "127.0.0.1:4100"}),
+		frame(Response{ID: 3, Error: &Error{Code: CodeStalePrimary,
+			Message: "fenced at epoch 5", Leader: "127.0.0.1:4100"}}),
 		// Two frames back to back.
 		append(frame(ReplBatch{Kind: KindReplBatch, From: 1, Stmts: []string{"a"}}),
 			frame(ReplAck{Kind: KindReplAck, Applied: 1})...),
@@ -104,6 +111,9 @@ func decodeStream(t *testing.T, data []byte) {
 			_ = json.Unmarshal(payload, &m)
 		case KindReplAck:
 			var m ReplAck
+			_ = json.Unmarshal(payload, &m)
+		case KindReplFence:
+			var m ReplFence
 			_ = json.Unmarshal(payload, &m)
 		default:
 			var h Hello

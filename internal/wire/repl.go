@@ -15,6 +15,7 @@ const (
 	KindReplHello = "repl_hello"
 	KindReplBatch = "repl_batch"
 	KindReplAck   = "repl_ack"
+	KindReplFence = "repl_fence"
 )
 
 // MsgKind probes a frame's "kind" field without committing to a message
@@ -44,6 +45,24 @@ type ReplHello struct {
 	From uint64 `json:"from"`
 	// Name labels the follower in the primary's metrics and \stats.
 	Name string `json:"name,omitempty"`
+	// Epoch is the highest fencing epoch the follower has adopted. A
+	// primary whose own epoch is lower has been superseded: it must
+	// demote itself instead of serving the stream. Zero (a pre-epoch
+	// follower) is treated as epoch 1, the epoch every engine starts in.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Leader, when set, names the wire address the follower believes the
+	// current leader serves on — a hint a fenced ex-primary can hand to
+	// its own clients.
+	Leader string `json:"leader,omitempty"`
+}
+
+// EpochEntry is one step of the cluster's fencing-epoch history: the
+// epoch number and the LSN at which it began (the position of the
+// promoting node at promotion). Followers adopt the primary's history so
+// a later rejoin can locate the fork point of any stale epoch.
+type EpochEntry struct {
+	Epoch    uint64 `json:"epoch"`
+	StartLSN uint64 `json:"start_lsn"`
 }
 
 // Modes a primary answers a ReplHello with.
@@ -72,6 +91,20 @@ type ReplHelloReply struct {
 	// diagnostics.
 	Gen   uint64 `json:"gen,omitempty"`
 	Error *Error `json:"error,omitempty"`
+	// Epoch is the primary's current fencing epoch and EpochHist its full
+	// (epoch, start-LSN) history; the follower adopts both. A follower
+	// whose own epoch is higher must refuse the stream and fence this
+	// primary instead.
+	Epoch     uint64       `json:"epoch,omitempty"`
+	EpochHist []EpochEntry `json:"epoch_hist,omitempty"`
+	// Diverged reports that the follower's history forked from the
+	// primary's: the follower holds statements past Fork that the
+	// primary's history does not contain (it accepted them under a stale
+	// epoch). The follower must quarantine its suffix past Fork before
+	// installing the accompanying snapshot — the reply is always in
+	// snapshot mode when Diverged is set.
+	Diverged bool   `json:"diverged,omitempty"`
+	Fork     uint64 `json:"fork,omitempty"`
 }
 
 // ReplBatch carries a contiguous run of durably committed statements:
@@ -82,6 +115,10 @@ type ReplBatch struct {
 	// From is the LSN of Stmts[0].
 	From  uint64   `json:"from"`
 	Stmts []string `json:"stmts"`
+	// Epoch is the epoch the primary committed these statements under; a
+	// follower that has adopted a higher epoch rejects the batch with a
+	// fatal ReplFence — the sender is a stale primary.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// SentUnixNano is the primary's clock when the batch was written;
 	// the replica derives its seconds-behind lag from it (meaningful to
 	// the extent the two clocks agree).
@@ -95,4 +132,15 @@ type ReplAck struct {
 	Kind string `json:"kind"` // KindReplAck
 	// Applied is the highest LSN the replica has durably applied.
 	Applied uint64 `json:"applied"`
+}
+
+// ReplFence travels follower → primary on the ack stream when the
+// follower has adopted an epoch higher than the one stamped on the
+// stream: the sender is a stale primary and must demote itself to
+// read-only. Epoch is the follower's (higher) epoch; Leader, when
+// known, is where the current leader serves.
+type ReplFence struct {
+	Kind   string `json:"kind"` // KindReplFence
+	Epoch  uint64 `json:"epoch"`
+	Leader string `json:"leader,omitempty"`
 }

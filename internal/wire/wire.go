@@ -151,6 +151,10 @@ type Error struct {
 	Col  int `json:"col,omitempty"`
 	// Retryable reports the failure is transient.
 	Retryable bool `json:"retryable,omitempty"`
+	// Leader, set on READ_ONLY and STALE_PRIMARY failures when the node
+	// knows (or believes it knows) the current leader's wire address,
+	// lets clients redirect writes without re-polling every node.
+	Leader string `json:"leader,omitempty"`
 }
 
 // Error implements the error interface.

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -49,6 +50,10 @@ type ServerError struct {
 	Message   string
 	Line, Col int
 	Retryable bool
+	// Leader is the server's best hint at the current primary's address;
+	// set on READ_ONLY and STALE_PRIMARY refusals. Cluster clients follow
+	// it automatically.
+	Leader string
 }
 
 // Error renders "CODE: message".
@@ -56,7 +61,7 @@ func (e *ServerError) Error() string { return e.Code + ": " + e.Message }
 
 func serverError(we *wire.Error) *ServerError {
 	return &ServerError{Code: we.Code, Message: we.Message,
-		Line: we.Line, Col: we.Col, Retryable: we.Retryable}
+		Line: we.Line, Col: we.Col, Retryable: we.Retryable, Leader: we.Leader}
 }
 
 // Result is the outcome of one statement.
@@ -97,45 +102,154 @@ func WithDialTimeout(d time.Duration) Option {
 	return func(c *Client) { c.dialTimeout = d }
 }
 
+// WithBackoff bounds the jittered exponential backoff between
+// reconnect attempts (defaults 50ms and 2s). The backoff doubles per
+// consecutive failure, is capped at max, and resets to min after any
+// successful handshake.
+func WithBackoff(min, max time.Duration) Option {
+	return func(c *Client) { c.backoffMin, c.backoffMax = min, max }
+}
+
+// WithDialer overrides how connections are established (tests inject
+// failing or partitioned connections). addr is the target the client
+// chose from its address list.
+func WithDialer(dial func(ctx context.Context, addr string) (net.Conn, error)) Option {
+	return func(c *Client) { c.dialFn = dial }
+}
+
 // Client is a connection to an authdb server on behalf of one
 // principal. Methods are safe for concurrent use; calls are serialized
 // on the single underlying connection — open one client per goroutine
 // for parallelism, exactly like sessions.
 type Client struct {
-	addr        string
+	addrs       []string
 	user        string
 	admin       bool
 	token       string
 	dialTimeout time.Duration
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+	dialFn      func(ctx context.Context, addr string) (net.Conn, error)
 
-	mu     sync.Mutex
-	nc     net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	nextID uint64
-	closed bool
+	// followHints is set by DialCluster: only cluster-aware clients
+	// transparently re-target leader hints. A plain Dial client keeps
+	// surfacing READ_ONLY/STALE_PRIMARY refusals (with the hint on the
+	// ServerError) so callers pinned to one node see exactly what that
+	// node answered.
+	followHints bool
+
+	mu      sync.Mutex
+	nc      net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	nextID  uint64
+	closed  bool
+	addrIdx int    // rotation through addrs on failure
+	hint    string // pending leader hint: the next connect tries it first
+	curAddr string // address of the live connection
+	backoff time.Duration
 }
 
 // Dial connects to addr and authenticates. The default principal is the
-// non-administrator "guest"; set one with WithUser or WithAdmin.
+// non-administrator "guest"; set one with WithUser or WithAdmin. A Dial
+// client is pinned to its address: it does not follow leader hints (use
+// DialCluster for that), so replica write refusals surface as
+// *ServerError with the hint in its Leader field.
 func Dial(addr string, opts ...Option) (*Client, error) {
-	c := &Client{addr: addr, user: "guest", dialTimeout: 10 * time.Second}
+	c, err := DialCluster([]string{addr}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c.followHints = false
+	return c, nil
+}
+
+// DialCluster connects to the first reachable address and
+// authenticates. The client remembers the whole list: when a
+// connection breaks it rotates through the addresses under jittered
+// exponential backoff, and when a node answers READ_ONLY or
+// STALE_PRIMARY with a leader hint the client re-targets the hinted
+// address — so a mutating workload follows a failover without caller
+// involvement. The at-most-once contract is unchanged: a mutation
+// whose request may have reached a server still fails with
+// ErrUnknownOutcome rather than being retried elsewhere (a leader
+// refusal is a deterministic pre-apply answer, so following it is
+// safe).
+func DialCluster(addrs []string, opts ...Option) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: no addresses")
+	}
+	c := &Client{
+		addrs: append([]string(nil), addrs...), user: "guest",
+		dialTimeout: 10 * time.Second,
+		backoffMin:  50 * time.Millisecond, backoffMax: 2 * time.Second,
+		followHints: true,
+	}
 	for _, o := range opts {
 		o(c)
 	}
-	if err := c.connect(context.Background()); err != nil {
-		return nil, err
+	if c.dialFn == nil {
+		c.dialFn = func(ctx context.Context, addr string) (net.Conn, error) {
+			d := net.Dialer{Timeout: c.dialTimeout}
+			return d.DialContext(ctx, "tcp", addr)
+		}
 	}
-	return c, nil
+	var lastErr error
+	for range c.addrs {
+		if err := c.connect(context.Background()); err != nil {
+			lastErr = err
+			var se *ServerError
+			if errors.As(err, &se) {
+				return nil, err // rejected handshake: rotation won't help
+			}
+			c.addrIdx++
+			continue
+		}
+		return c, nil
+	}
+	return nil, lastErr
+}
+
+// pickAddr chooses the next dial target: a pending leader hint wins,
+// else the current slot of the rotation.
+func (c *Client) pickAddr() string {
+	if c.hint != "" {
+		a := c.hint
+		c.hint = ""
+		return a
+	}
+	return c.addrs[c.addrIdx%len(c.addrs)]
+}
+
+// sleepBackoff waits the current jittered backoff (doubling it, capped)
+// and reports false if ctx expired instead.
+func (c *Client) sleepBackoff(ctx context.Context) bool {
+	d := c.backoff
+	if d <= 0 {
+		d = c.backoffMin
+	}
+	c.backoff = 2 * d
+	if c.backoff > c.backoffMax {
+		c.backoff = c.backoffMax
+	}
+	// Full jitter around d: uniform in [d/2, 3d/2), so clients that
+	// failed together don't redial in lockstep.
+	sleep := d/2 + time.Duration(rand.Int63n(int64(d)))
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(sleep):
+		return true
+	}
 }
 
 // connect dials and runs the handshake; callers hold c.mu (or own c
 // exclusively, as in Dial).
 func (c *Client) connect(ctx context.Context) error {
-	d := net.Dialer{Timeout: c.dialTimeout}
-	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	addr := c.pickAddr()
+	nc, err := c.dialFn(ctx, addr)
 	if err != nil {
-		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+		return fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	nc.SetDeadline(time.Now().Add(c.dialTimeout))
 	br, bw := bufio.NewReader(nc), bufio.NewWriterSize(nc, 4096)
@@ -162,7 +276,16 @@ func (c *Client) connect(ctx context.Context) error {
 	}
 	nc.SetDeadline(time.Time{})
 	c.nc, c.br, c.bw = nc, br, bw
+	c.curAddr = addr
+	c.backoff = 0 // reset the reconnect backoff after any successful handshake
 	return nil
+}
+
+// Addr returns the address of the current (or last) connection.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curAddr
 }
 
 // Exec executes one statement (or the `\stats` meta-command) under ctx:
@@ -180,7 +303,8 @@ func (c *Client) Exec(ctx context.Context, stmt string) (*Result, error) {
 		return nil, ErrClosed
 	}
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	maxAttempts := 2 + len(c.addrs)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if ctx.Err() != nil {
 			if lastErr != nil {
 				return nil, lastErr
@@ -194,6 +318,10 @@ func (c *Client) Exec(ctx context.Context, stmt string) (*Result, error) {
 					return nil, err // rejected handshake: retry won't help
 				}
 				lastErr = err
+				c.addrIdx++ // rotate: the next attempt tries another node
+				if !c.sleepBackoff(ctx) {
+					return nil, lastErr
+				}
 				continue
 			}
 		}
@@ -203,6 +331,19 @@ func (c *Client) Exec(ctx context.Context, stmt string) (*Result, error) {
 		}
 		var se *ServerError
 		if errors.As(err, &se) {
+			// A leader refusal is answered before the statement touches
+			// the engine, so re-running it on the hinted leader cannot
+			// double-apply: a cluster-aware client follows the hint.
+			// Anything else is final.
+			if c.followHints &&
+				(se.Code == wire.CodeReadOnly || se.Code == wire.CodeStalePrimary) &&
+				se.Leader != "" && se.Leader != c.curAddr {
+				c.hint = se.Leader
+				c.nc.Close()
+				c.nc = nil
+				lastErr = err
+				continue
+			}
 			return nil, err // the server answered; the connection is fine
 		}
 		// Transport failure: drop the connection.
