@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz fuzz-wire bench bench-index bench-serve bench-replica benchgo
+.PHONY: check build vet test race chaos fuzz fuzz-wire bench bench-index bench-serve bench-replica bench-mvcc benchgo
 
 check: build vet race
 
@@ -59,6 +59,12 @@ bench-serve:
 # (BENCH_replica.json, cmd/authdb/benchreplica.go).
 bench-replica:
 	$(GO) run ./cmd/authdb bench-replica
+
+# MVCC read-scaling matrix: the bench-serve read mix and the replicated
+# topology rerun at GOMAXPROCS 1/4/16, each level stamped with its
+# effective GOMAXPROCS (BENCH_mvcc.json, cmd/authdb/benchmvcc.go).
+bench-mvcc:
+	$(GO) run ./cmd/authdb bench-mvcc
 
 # Go testing.B micro-benchmarks.
 benchgo:

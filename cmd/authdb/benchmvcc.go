@@ -1,0 +1,143 @@
+package main
+
+// The bench-mvcc subcommand: the GOMAXPROCS scaling matrix for the MVCC
+// read path. For each requested GOMAXPROCS level it reruns the
+// bench-serve read mix (lock-free retrieves against one in-process
+// server) and the bench-replica topology (reads spread across a primary
+// and followers under a steady write load), reusing those harnesses'
+// level runners so the numbers are directly comparable with their
+// reports. Every level records its own effective GOMAXPROCS; the
+// top-level num_cpu field says how many cores the host actually had —
+// on a single-core machine the curve is flat by construction, and the
+// CI artifact from a multi-core runner is the meaningful one.
+//
+//	authdb bench-mvcc [-dur 2s] [-o BENCH_mvcc.json] [-procs 1,4,16] [-conns 16] [-replicas 2] [-write-rate 25]
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"authdb"
+	"authdb/internal/server"
+)
+
+type mvccLevel struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Serve is the bench-serve read mix at this GOMAXPROCS; ServeQPS
+	// duplicates its QPS at the top for easy plotting.
+	Serve    serveLevel   `json:"serve"`
+	ServeQPS float64      `json:"serve_read_qps"`
+	Replica  replicaLevel `json:"replica"`
+}
+
+type mvccReport struct {
+	Generated string `json:"generated"`
+	// NumCPU bounds every level: levels above it cannot scale further.
+	NumCPU     int            `json:"num_cpu"`
+	DurationMS int64          `json:"duration_ms_per_level"`
+	Conns      int            `json:"conns"`
+	Replicas   int            `json:"replicas"`
+	WriteRate  int            `json:"write_rate_per_sec"`
+	Rows       map[string]int `json:"rows"`
+	Queries    []string       `json:"queries"`
+	Levels     []mvccLevel    `json:"levels"`
+}
+
+func runBenchMVCC(args []string) int {
+	fs := flag.NewFlagSet("bench-mvcc", flag.ExitOnError)
+	dur := fs.Duration("dur", 2*time.Second, "measurement duration per matrix cell")
+	out := fs.String("o", "BENCH_mvcc.json", "output JSON file")
+	procsList := fs.String("procs", "1,4,16", "comma-separated GOMAXPROCS levels")
+	conns := fs.Int("conns", 16, "read connections per cell")
+	replicas := fs.Int("replicas", 2, "replica count for the replication cells")
+	writeRate := fs.Int("write-rate", 25, "steady primary write load for the replication cells")
+	fs.Parse(args)
+
+	var procs []int
+	for _, field := range strings.Split(*procsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad GOMAXPROCS level %q\n", field)
+			return 1
+		}
+		procs = append(procs, n)
+	}
+
+	report := mvccReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		NumCPU:     runtime.NumCPU(),
+		DurationMS: dur.Milliseconds(),
+		Conns:      *conns,
+		Replicas:   *replicas,
+		WriteRate:  *writeRate,
+		Rows: map[string]int{
+			"EMPLOYEE":   benchEmployees,
+			"PROJECT":    benchProjects,
+			"ASSIGNMENT": benchAssignments,
+		},
+	}
+	for _, op := range benchOps {
+		report.Queries = append(report.Queries, op.user+": "+op.query)
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		serve, err := runMVCCServeCell(*conns, *dur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		repl, err := runReplicaLevel(*replicas, *conns, *writeRate, *dur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("gomaxprocs=%-2d serve_qps=%9.1f p50=%6.0fµs p99=%6.0fµs | replica_read_qps=%9.1f write_qps=%7.1f\n",
+			p, serve.QPS, serve.P50Micros, serve.P99Micros, repl.ReadQPS, repl.WriteQPS)
+		report.Levels = append(report.Levels, mvccLevel{
+			GoMaxProcs: p,
+			Serve:      serve,
+			ServeQPS:   serve.QPS,
+			Replica:    repl,
+		})
+	}
+	runtime.GOMAXPROCS(prev)
+
+	blob, _ := json.MarshalIndent(report, "", "  ")
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println("wrote", *out)
+	return 0
+}
+
+// runMVCCServeCell boots a fresh in-memory server over the scaled
+// fixture (so each matrix cell starts from identical state and the
+// current GOMAXPROCS governs the whole process) and runs the
+// bench-serve read mix against it.
+func runMVCCServeCell(conns int, dur time.Duration) (serveLevel, error) {
+	db := authdb.Open()
+	if _, err := db.Admin().ExecScript(benchFixtureScript()); err != nil {
+		return serveLevel{}, fmt.Errorf("fixture: %w", err)
+	}
+	srv := server.New(db, server.Config{MaxConns: 1024, Limits: authdb.DefaultLimits()})
+	if err := srv.Start(); err != nil {
+		return serveLevel{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	return runServeLevel(srv.Addr().String(), conns, dur)
+}

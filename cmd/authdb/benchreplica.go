@@ -42,10 +42,13 @@ import (
 const benchReplToken = "bench-replica-token"
 
 type replicaLevel struct {
-	Replicas  int   `json:"replicas"`
-	ReadConns int   `json:"read_conns"`
-	ReadOps   int64 `json:"read_ops"`
-	Errors    int64 `json:"errors"`
+	Replicas int `json:"replicas"`
+	// GoMaxProcs is the effective GOMAXPROCS while this level ran (the
+	// bench-mvcc scaling matrix varies it per level).
+	GoMaxProcs int   `json:"gomaxprocs"`
+	ReadConns  int   `json:"read_conns"`
+	ReadOps    int64 `json:"read_ops"`
+	Errors     int64 `json:"errors"`
 	// ReadQPS is the aggregate across all nodes; PrimaryQPS and
 	// ReplicaQPS split it by where the connection landed.
 	ReadQPS    float64 `json:"read_qps"`
@@ -344,6 +347,7 @@ func runReplicaLevel(nrep, conns, writeRate int, dur time.Duration) (replicaLeve
 	}
 	lvl := replicaLevel{
 		Replicas:   nrep,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		ReadConns:  conns,
 		ReadOps:    int64(len(all)),
 		Errors:     errs.Load(),

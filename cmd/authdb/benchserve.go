@@ -36,8 +36,12 @@ import (
 )
 
 type serveLevel struct {
-	Conns     int     `json:"conns"`
-	Ops       int64   `json:"ops"`
+	Conns int `json:"conns"`
+	// GoMaxProcs is the effective GOMAXPROCS while this level ran; the
+	// scaling matrix (bench-mvcc) varies it per level, so the top-level
+	// report field alone would misattribute the numbers.
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Ops        int64   `json:"ops"`
 	Errors    int64   `json:"errors"`
 	QPS       float64 `json:"qps"`
 	P50Micros float64 `json:"p50_us"`
@@ -47,6 +51,7 @@ type serveLevel struct {
 
 type writeLevel struct {
 	Conns       int     `json:"conns"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 	GroupCommit bool    `json:"group_commit"`
 	Ops         int64   `json:"ops"`
 	Errors      int64   `json:"errors"`
@@ -229,6 +234,7 @@ func runWriteLevel(groupCommit bool, n int, dur time.Duration) (writeLevel, erro
 	}
 	return writeLevel{
 		Conns:       n,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		GroupCommit: groupCommit,
 		Ops:         int64(len(all)),
 		Errors:      errs,
@@ -294,8 +300,9 @@ func runServeLevel(addr string, n int, dur time.Duration) (serveLevel, error) {
 		return float64(all[idx].Microseconds())
 	}
 	return serveLevel{
-		Conns:     n,
-		Ops:       int64(len(all)),
+		Conns:      n,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Ops:        int64(len(all)),
 		Errors:    errs,
 		QPS:       float64(len(all)) / elapsed.Seconds(),
 		P50Micros: pct(0.50),

@@ -53,6 +53,8 @@ func main() {
 			os.Exit(runBenchServe(os.Args[2:]))
 		case "bench-replica":
 			os.Exit(runBenchReplica(os.Args[2:]))
+		case "bench-mvcc":
+			os.Exit(runBenchMVCC(os.Args[2:]))
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
 		case "promote":

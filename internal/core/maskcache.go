@@ -18,12 +18,16 @@ import (
 // either has moved on; inserts into and deletes from actual relations
 // bump neither, so they leave the cache intact.
 //
-// The cache itself is mutex-protected, but the generation stamps are
-// only coherent when reads of the store and writes to it are already
-// serialized by the caller — the engine does this with its RWMutex
-// (every retrieve holds the read lock; every definition change holds
-// the write lock). Cached plans are shared across concurrent readers;
-// that is safe because every mask-application path is read-only.
+// The cache itself is mutex-protected. Generation coherence needs no
+// caller-side lock around lookups: the engine's writer serializes all
+// definition changes and clones the store copy-on-write per change, so
+// the counters are monotone along the version lineage — a reader pinned
+// to any store version that Gets (or Puts) against that pinned store
+// matches an entry only when both stamps are equal, which along a
+// monotone lineage implies the identical set of definitions. Entries
+// stamped by a reader at an older version simply never match newer
+// generations. Cached plans are shared across concurrent readers; that
+// is safe because every mask-application path is read-only.
 type MaskCache struct {
 	mu      sync.Mutex
 	cap     int

@@ -94,6 +94,39 @@ func NewStore(sch *relation.DBSchema) *Store {
 	}
 }
 
+// Clone returns a copy of the store bound to sch that can be mutated
+// without affecting the original — the copy-on-write step a versioned
+// engine takes before a definition change (define/drop view, permit,
+// revoke), so readers pinned to the old store keep a stable
+// meta-database. Compiled view entries are shared (immutable once
+// DefineView built them); the maps, the order, and every permission
+// slice are copied because DropView and Revoke splice them in place.
+// The generation counters carry over, keeping them monotone along the
+// clone lineage — which is what lets one MaskCache serve every version:
+// an entry whose (viewGen, permGen) stamps match a pinned store was
+// compiled from identical definitions.
+func (s *Store) Clone(sch *relation.DBSchema) *Store {
+	ns := &Store{
+		sch:      sch,
+		views:    make(map[string]*viewEntry, len(s.views)),
+		order:    append([]string(nil), s.order...),
+		perms:    make(map[string][]string, len(s.perms)),
+		varCount: s.varCount,
+		viewGen:  s.viewGen,
+		permGen:  make(map[string]uint64, len(s.permGen)),
+	}
+	for n, e := range s.views {
+		ns.views[n] = e
+	}
+	for u, vs := range s.perms {
+		ns.perms[u] = append([]string(nil), vs...)
+	}
+	for u, g := range s.permGen {
+		ns.permGen[u] = g
+	}
+	return ns
+}
+
 // ViewGen returns the view-set mutation generation; it advances on every
 // DefineView and DropView.
 func (s *Store) ViewGen() uint64 { return s.viewGen }

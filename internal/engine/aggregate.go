@@ -105,7 +105,7 @@ func (s *Session) retrieveAgg(ctx context.Context, p parser.Retrieve) (*Result, 
 		}
 		out.Insert(row) //nolint:errcheck // arity correct by construction
 	}
-	return &Result{Relation: out, Permits: base.Permits, Decision: base.Decision}, nil
+	return &Result{Relation: out, Permits: base.Permits, Decision: base.Decision, AtLSN: base.AtLSN}, nil
 }
 
 // aggAccum folds one aggregate over a group, skipping withheld values.

@@ -127,6 +127,10 @@ func openDurableFS(fs faultfs.FS, dir string, opt core.Options) (*Engine, error)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Recovery adjusted the LSN counter (and possibly the epoch history)
+	// after the last publish; republish so the head version's LSN stamp
+	// matches before the opening checkpoint renders it.
+	e.publishLocked()
 	if err := e.checkpointLocked(fs, dir, gen); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}

@@ -34,16 +34,37 @@ import (
 )
 
 // Engine is a thread-safe database instance with view-based authorization.
+//
+// Concurrency model (MVCC, DESIGN.md §14): the database state lives in
+// immutable versions behind the atomic head pointer. Readers pin the
+// head once per statement and never take e.mu; writers serialize on
+// e.mu, mutate the writer-side state (vrels/wsch/wstore) copy-on-write,
+// and publish the successor version with one pointer swap.
 type Engine struct {
-	mu    sync.RWMutex
-	sch   *relation.DBSchema
-	rels  map[string]*relation.Relation
-	store *core.Store
-	opt   core.Options
+	// mu serializes writers (statements, checkpoints, epoch changes,
+	// snapshot resets). Retrievals do not take it in any mode — they
+	// read the pinned head version.
+	mu sync.RWMutex
+	// head is the current database version; see version.go.
+	head atomic.Pointer[dbVersion]
+	// Writer state, guarded by e.mu: the versioned relations whose heads
+	// the next publish will capture, and the current schema and
+	// authorization store (replaced copy-on-write by definition changes,
+	// shared with published versions otherwise).
+	wsch   *relation.DBSchema
+	vrels  map[string]*relation.Versioned
+	wstore *core.Store
+	verSeq uint64
+
+	opt core.Options
 	// masks caches compiled meta-side plans per (user, query); entries
 	// are invalidated by view and permit changes via the store's
-	// generation counters, never by data changes.
-	masks *core.MaskCache
+	// generation counters, never by data changes. The pointer is atomic
+	// so lock-free readers can pick the cache up alongside their pinned
+	// version (nil = disabled); the generation stamps stay coherent
+	// across versions because the counters are monotone along the
+	// store's clone lineage.
+	masks atomic.Pointer[core.MaskCache]
 	// dur is the crash-safe persistence attachment (nil for in-memory
 	// engines); see durable.go.
 	dur *durable
@@ -105,68 +126,57 @@ type Engine struct {
 func New(opt core.Options) *Engine {
 	sch := relation.NewDBSchema()
 	e := &Engine{
-		sch:        sch,
-		rels:       make(map[string]*relation.Relation),
-		store:      core.NewStore(sch),
+		wsch:       sch,
+		vrels:      make(map[string]*relation.Versioned),
 		opt:        opt,
-		masks:      core.NewMaskCache(0),
 		met:        metrics.NewRegistry(),
 		commitWake: make(chan struct{}, 1),
 		subs:       make(map[*CommitSub]struct{}),
 		epochHist:  []EpochEntry{{Epoch: 1, StartLSN: 0}},
 	}
+	e.wstore = core.NewStore(sch)
+	e.masks.Store(core.NewMaskCache(0))
 	e.epoch.Store(1)
 	e.commitCond = sync.NewCond(&e.commitMu)
+	e.publishLocked() // version 1: the empty database
 	e.registerMetrics()
 	return e
 }
 
 // MaskCacheStats reports the mask cache's hit and miss counts and size.
+// Lock-free, like the readers that feed the cache.
 func (e *Engine) MaskCacheStats() (hits, misses uint64, size int) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.masks.Stats()
+	return e.masks.Load().Stats()
 }
 
 // SetMaskCacheEnabled enables or disables the per-user mask cache; the
 // benchmark harness disables it to measure the recompute-every-time
 // baseline. Disabling discards the current cache contents.
 func (e *Engine) SetMaskCacheEnabled(on bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if on {
-		if e.masks == nil {
-			e.masks = core.NewMaskCache(0)
+		if e.masks.Load() == nil {
+			e.masks.Store(core.NewMaskCache(0))
 		}
 	} else {
-		e.masks = nil
+		e.masks.Store(nil)
 	}
 }
 
-// Store exposes the authorization store (admin surface).
-func (e *Engine) Store() *core.Store { return e.store }
+// Store exposes the authorization store of the current version (admin
+// surface). The returned store is a read-only snapshot.
+func (e *Engine) Store() *core.Store { return e.head.Load().store }
 
-// Schema exposes the database scheme.
-func (e *Engine) Schema() *relation.DBSchema { return e.sch }
+// Schema exposes the database scheme of the current version. The
+// returned scheme is a read-only snapshot.
+func (e *Engine) Schema() *relation.DBSchema { return e.head.Load().sch }
 
 // Options returns the engine's authorization options.
 func (e *Engine) Options() core.Options { return e.opt }
 
-// source resolves relations for the evaluators; callers hold e.mu.
-func (e *Engine) source(name string) (*relation.Relation, error) {
-	r, ok := e.rels[name]
-	if !ok {
-		return nil, fmt.Errorf("unknown relation %s", name)
-	}
-	return r, nil
-}
-
 // Relation returns a defensive snapshot of a base relation (admin
 // surface).
 func (e *Engine) Relation(name string) (*relation.Relation, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	r, err := e.source(name)
+	r, err := e.head.Load().source(name)
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +195,11 @@ type Result struct {
 	Permits []core.PermitStatement
 	// Decision exposes the full authorization outcome of a retrieve.
 	Decision *core.Decision
+	// AtLSN is the log position of the database version the statement
+	// read: a retrieve's answer is computed against exactly the state
+	// after statement AtLSN, however many commits landed while it ran.
+	// Zero for statements that pin no version.
+	AtLSN uint64
 }
 
 // Session executes statements on behalf of one user. Admin sessions
@@ -379,11 +394,19 @@ func (s *Session) createRelation(p parser.CreateRelation) (*Result, error) {
 	if err := s.eng.durCheck(); err != nil {
 		return nil, err
 	}
-	if err := s.eng.sch.Add(rs); err != nil {
+	// Copy-on-write: extend a clone of the scheme and re-bind the store
+	// to it, so versions pinned before this statement keep the scheme
+	// (and store) without the new relation.
+	nsch := s.eng.wsch.Clone()
+	if err := nsch.Add(rs); err != nil {
 		return nil, err
 	}
-	s.eng.rels[p.Name] = relation.FromSchema(rs)
-	if err := s.logStmt(p); err != nil {
+	s.eng.wsch = nsch
+	s.eng.vrels[p.Name] = relation.NewVersioned(rs.Attrs)
+	s.eng.wstore = s.eng.wstore.Clone(nsch)
+	err = s.logStmt(p)
+	s.eng.publishLocked()
+	if err != nil {
 		return nil, err
 	}
 	return &Result{Text: "defined relation " + rs.String()}, nil
@@ -398,10 +421,16 @@ func (s *Session) defineView(p parser.ViewStmt) (*Result, error) {
 	if err := s.eng.durCheck(); err != nil {
 		return nil, err
 	}
-	if err := s.eng.store.DefineView(p.Def); err != nil {
+	// Definition changes go through a store clone so pinned readers keep
+	// a stable meta-database; a failed definition discards the clone.
+	ns := s.eng.wstore.Clone(s.eng.wsch)
+	if err := ns.DefineView(p.Def); err != nil {
 		return nil, err
 	}
-	if err := s.logStmt(p); err != nil {
+	s.eng.wstore = ns
+	err := s.logStmt(p)
+	s.eng.publishLocked()
+	if err != nil {
 		return nil, err
 	}
 	return &Result{Text: "defined view " + p.Def.Name}, nil
@@ -416,10 +445,14 @@ func (s *Session) dropView(p parser.DropView) (*Result, error) {
 	if err := s.eng.durCheck(); err != nil {
 		return nil, err
 	}
-	if !s.eng.store.DropView(p.Name) {
+	ns := s.eng.wstore.Clone(s.eng.wsch)
+	if !ns.DropView(p.Name) {
 		return nil, fmt.Errorf("unknown view %s", p.Name)
 	}
-	if err := s.logStmt(p); err != nil {
+	s.eng.wstore = ns
+	err := s.logStmt(p)
+	s.eng.publishLocked()
+	if err != nil {
 		return nil, err
 	}
 	return &Result{Text: "dropped view " + p.Name}, nil
@@ -434,10 +467,14 @@ func (s *Session) permit(p parser.Permit) (*Result, error) {
 	if err := s.eng.durCheck(); err != nil {
 		return nil, err
 	}
-	if err := s.eng.store.Permit(p.View, p.User); err != nil {
+	ns := s.eng.wstore.Clone(s.eng.wsch)
+	if err := ns.Permit(p.View, p.User); err != nil {
 		return nil, err
 	}
-	if err := s.logStmt(p); err != nil {
+	s.eng.wstore = ns
+	err := s.logStmt(p)
+	s.eng.publishLocked()
+	if err != nil {
 		return nil, err
 	}
 	return &Result{Text: fmt.Sprintf("permitted %s to %s", p.View, p.User)}, nil
@@ -452,10 +489,14 @@ func (s *Session) revoke(p parser.Revoke) (*Result, error) {
 	if err := s.eng.durCheck(); err != nil {
 		return nil, err
 	}
-	if !s.eng.store.Revoke(p.View, p.User) {
+	ns := s.eng.wstore.Clone(s.eng.wsch)
+	if !ns.Revoke(p.View, p.User) {
 		return nil, fmt.Errorf("no permit of %s to %s", p.View, p.User)
 	}
-	if err := s.logStmt(p); err != nil {
+	s.eng.wstore = ns
+	err := s.logStmt(p)
+	s.eng.publishLocked()
+	if err != nil {
 		return nil, err
 	}
 	return &Result{Text: fmt.Sprintf("revoked %s from %s", p.View, p.User)}, nil
@@ -471,28 +512,32 @@ func (s *Session) Retrieve(def *cview.Def) (*Result, error) {
 // runaway query fails with guard.ErrBudgetExceeded, a canceled or timed
 // out one with guard.ErrCanceled, and the engine keeps serving other
 // sessions.
+//
+// The statement pins the head version once and takes no engine lock:
+// however long the evaluation runs, and however many commits land
+// meanwhile, the answer — and the mask it was filtered through — is a
+// pure function of that one version.
 func (s *Session) RetrieveContext(ctx context.Context, def *cview.Def) (*Result, error) {
 	g := guard.New(ctx, s.limits)
 	defer g.Close()
-	s.eng.mu.RLock()
-	defer s.eng.mu.RUnlock()
+	v := s.eng.headVersion()
 	if s.admin {
-		an, err := cview.Analyze(def, s.eng.sch)
+		an, err := cview.Analyze(def, v.sch)
 		if err != nil {
 			return nil, err
 		}
-		ans, err := algebra.EvalOptimizedGuarded(an.PSJ, s.eng.source, g)
+		ans, err := algebra.EvalOptimizedGuarded(an.PSJ, v.source, g)
 		if err != nil {
 			return nil, err
 		}
 		if err := g.Result(ans.Len()); err != nil {
 			return nil, err
 		}
-		return &Result{Relation: ans}, nil
+		return &Result{Relation: ans, AtLSN: v.lsn}, nil
 	}
-	auth := core.NewAuthorizer(s.eng.store, s.eng.source, s.eng.opt)
+	auth := core.NewAuthorizer(v.store, v.source, s.eng.opt)
 	auth.Guard = g
-	auth.Cache = s.eng.masks
+	auth.Cache = s.eng.masks.Load()
 	d, err := auth.Retrieve(s.user, def)
 	if err != nil {
 		return nil, err
@@ -500,7 +545,7 @@ func (s *Session) RetrieveContext(ctx context.Context, def *cview.Def) (*Result,
 	if err := g.Result(d.Masked.Len()); err != nil {
 		return nil, err
 	}
-	return &Result{Relation: d.Masked, Permits: d.Permits, Decision: d}, nil
+	return &Result{Relation: d.Masked, Permits: d.Permits, Decision: d, AtLSN: v.lsn}, nil
 }
 
 // Certify runs the integrity instance of the machinery (§1's
@@ -516,9 +561,8 @@ func (e *Engine) Certify(quality, query string) (*core.Certification, error) {
 	if !ok || len(r.Aggs) > 0 {
 		return nil, fmt.Errorf("certify expects a plain retrieve statement")
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	auth := core.NewAuthorizer(e.store, e.source, e.opt)
+	v := e.headVersion()
+	auth := core.NewAuthorizer(v.store, v.source, e.opt)
 	return auth.Certify(quality, r.Def)
 }
 
@@ -530,11 +574,10 @@ func (e *Engine) Certify(quality, query string) (*core.Certification, error) {
 func (s *Session) explain(ctx context.Context, def *cview.Def) (*Result, error) {
 	g := guard.New(ctx, s.limits)
 	defer g.Close()
-	s.eng.mu.RLock()
-	defer s.eng.mu.RUnlock()
+	v := s.eng.headVersion()
 	opt := s.eng.opt
 	opt.CollectIntermediates = true
-	auth := core.NewAuthorizer(s.eng.store, s.eng.source, opt)
+	auth := core.NewAuthorizer(v.store, v.source, opt)
 	auth.Guard = g
 	auth.Trace = &algebra.Trace{}
 	d, err := auth.Retrieve(s.user, def)
@@ -578,7 +621,7 @@ func (s *Session) explain(ctx context.Context, def *cview.Def) (*Result, error) 
 	default:
 		fmt.Fprintf(&b, "mask pushdown: %s (available, disabled)\n", atomsString(d.Pushdown))
 	}
-	return &Result{Text: strings.TrimRight(b.String(), "\n"), Decision: d}, nil
+	return &Result{Text: strings.TrimRight(b.String(), "\n"), Decision: d, AtLSN: v.lsn}, nil
 }
 
 // atomsString renders pushdown atoms as a conjunction.
@@ -596,27 +639,29 @@ func (s *Session) insert(p parser.Insert) (*Result, error) {
 	if err := s.eng.durCheck(); err != nil {
 		return nil, err
 	}
-	r, err := s.eng.source(p.Rel)
-	if err != nil {
-		return nil, err
+	vr, ok := s.eng.vrels[p.Rel]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %s", p.Rel)
 	}
 	t := relation.Tuple(p.Values)
-	if len(t) != r.Arity() {
-		return nil, fmt.Errorf("relation %s expects %d values, got %d", p.Rel, r.Arity(), len(t))
+	if len(t) != vr.Arity() {
+		return nil, fmt.Errorf("relation %s expects %d values, got %d", p.Rel, vr.Arity(), len(t))
 	}
 	if !s.admin {
 		if err := s.authorizeUpdate(p.Rel, t); err != nil {
 			return nil, err
 		}
 	}
-	added, err := r.Insert(t)
+	added, err := vr.Insert(t)
 	if err != nil {
 		return nil, err
 	}
 	if !added {
 		return &Result{Text: "duplicate tuple ignored"}, nil
 	}
-	if err := s.logStmt(p); err != nil {
+	err = s.logStmt(p)
+	s.eng.publishLocked()
+	if err != nil {
 		return nil, err
 	}
 	return &Result{Text: "inserted 1 tuple into " + p.Rel}, nil
@@ -628,18 +673,18 @@ func (s *Session) delete(p parser.Delete) (*Result, error) {
 	if err := s.eng.durCheck(); err != nil {
 		return nil, err
 	}
-	r, err := s.eng.source(p.Rel)
-	if err != nil {
-		return nil, err
+	vr, ok := s.eng.vrels[p.Rel]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %s", p.Rel)
 	}
-	pred, err := deletePredicate(s.eng.sch, p)
+	pred, err := deletePredicate(s.eng.wsch, p)
 	if err != nil {
 		return nil, err
 	}
 	if !s.admin {
 		// Every tuple about to disappear must be within the user's
 		// update authority.
-		for _, t := range r.Tuples() {
+		for _, t := range vr.Head().Tuples() {
 			if pred(t) {
 				if err := s.authorizeUpdate(p.Rel, t); err != nil {
 					return nil, err
@@ -647,9 +692,11 @@ func (s *Session) delete(p parser.Delete) (*Result, error) {
 			}
 		}
 	}
-	n := r.Delete(pred)
+	n := vr.Delete(pred)
 	if n > 0 {
-		if err := s.logStmt(p); err != nil {
+		err := s.logStmt(p)
+		s.eng.publishLocked()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -686,9 +733,10 @@ func deletePredicate(sch *relation.DBSchema, p parser.Delete) (func(relation.Tup
 // must fall entirely within some permitted view — a view that covers every
 // attribute of the relation (all cells starred) with a single membership
 // tuple over it, whose selection the tuple satisfies. Join conditions to
-// other relations are checked against the current instance.
+// other relations are checked against the current instance. Runs inside
+// the writer's critical section, against the writer state.
 func (s *Session) authorizeUpdate(rel string, t relation.Tuple) error {
-	store := s.eng.store
+	store := s.eng.wstore
 	for _, vn := range store.ViewsFor(s.user) {
 		for _, v := range store.Branches(vn) {
 			for ti := range v.Tuples {
@@ -750,7 +798,7 @@ func (s *Session) updateCovered(v *core.StoredView, ti int, t relation.Tuple) bo
 // existential).
 func (s *Session) witness(v *core.StoredView, tj int, binding map[string]value.Value) bool {
 	st := v.Tuples[tj]
-	r, err := s.eng.source(st.Rel)
+	r, err := s.eng.writerSource(st.Rel)
 	if err != nil {
 		return false
 	}
@@ -793,32 +841,31 @@ func (s *Session) cmpsHold(v *core.StoredView, binding map[string]value.Value) b
 }
 
 func (s *Session) show(p parser.Show) (*Result, error) {
-	s.eng.mu.RLock()
-	defer s.eng.mu.RUnlock()
+	v := s.eng.headVersion()
 	var b strings.Builder
 	switch p.What {
 	case "relations":
-		for _, n := range s.eng.sch.Names() {
-			fmt.Fprintln(&b, s.eng.sch.Lookup(n).String())
+		for _, n := range v.sch.Names() {
+			fmt.Fprintln(&b, v.sch.Lookup(n).String())
 		}
 	case "views":
-		for _, n := range s.eng.store.ViewNames() {
-			fmt.Fprintln(&b, s.eng.store.ViewDef(n).String())
+		for _, n := range v.store.ViewNames() {
+			fmt.Fprintln(&b, v.store.ViewDef(n).String())
 			fmt.Fprintln(&b)
 		}
 	case "view":
-		def := s.eng.store.ViewDef(p.Arg)
+		def := v.store.ViewDef(p.Arg)
 		if def == nil {
 			return nil, fmt.Errorf("unknown view %s", p.Arg)
 		}
 		fmt.Fprintln(&b, def.String())
 		for bi := range def.Branches() {
-			if calc, err := cview.Calculus(def.Branch(bi), s.eng.sch); err == nil {
+			if calc, err := cview.Calculus(def.Branch(bi), v.sch); err == nil {
 				fmt.Fprintln(&b, calc)
 			}
 		}
 	case "permissions":
-		s.eng.store.RenderPermission(&b)
+		v.store.RenderPermission(&b)
 	case "rights":
 		if err := s.requireAdmin("show rights"); err != nil {
 			return nil, err
@@ -826,22 +873,22 @@ func (s *Session) show(p parser.Show) (*Result, error) {
 		if p.Arg == "" {
 			return nil, fmt.Errorf("usage: show rights USER")
 		}
-		s.eng.store.RenderRights(&b, p.Arg)
+		v.store.RenderRights(&b, p.Arg)
 	case "meta":
 		if err := s.requireAdmin("show meta"); err != nil {
 			return nil, err
 		}
-		names := s.eng.sch.Names()
+		names := v.sch.Names()
 		sort.Strings(names)
 		for _, n := range names {
-			s.eng.store.RenderMeta(&b, n)
+			v.store.RenderMeta(&b, n)
 			fmt.Fprintln(&b)
 		}
-		s.eng.store.RenderComparison(&b)
+		v.store.RenderComparison(&b)
 		fmt.Fprintln(&b)
-		s.eng.store.RenderPermission(&b)
+		v.store.RenderPermission(&b)
 	default:
 		return nil, fmt.Errorf("show %s: unknown target (relations, views, view NAME, permissions, rights USER, meta)", p.What)
 	}
-	return &Result{Text: strings.TrimRight(b.String(), "\n")}, nil
+	return &Result{Text: strings.TrimRight(b.String(), "\n"), AtLSN: v.lsn}, nil
 }

@@ -69,6 +69,10 @@ func (e *Engine) registerMetrics() {
 	e.met.GaugeFunc("authdb_repl_epoch", func() float64 {
 		return float64(e.epoch.Load())
 	})
+	e.met.GaugeFunc("authdb_db_version", func() float64 {
+		seq, _ := e.DBVersion()
+		return float64(seq)
+	})
 }
 
 // stmtKind names a statement for the per-kind request counters.

@@ -12,22 +12,22 @@ import (
 	"authdb/internal/relation"
 )
 
-// snapshotFiles renders the engine's complete state as a set of files,
-// keyed by slash-separated path relative to the save directory:
+// snapshotFiles renders one database version as a set of files, keyed
+// by slash-separated path relative to the save directory:
 //
 //	schema.authdb   relation statements
 //	views.authdb    view definitions and permits, in definition order
 //	data/REL.csv    one CSV per base relation
 //
-// Callers hold e.mu (either mode). The same rendering backs the flat
-// Save layout, the durable snapshot generations, and the crash-recovery
-// tests' state fingerprints.
-func (e *Engine) snapshotFiles() (map[string][]byte, error) {
+// The version is immutable, so no lock is needed. The same rendering
+// backs the flat Save layout, the durable snapshot generations, and the
+// crash-recovery tests' state fingerprints.
+func (v *dbVersion) snapshotFiles() (map[string][]byte, error) {
 	files := make(map[string][]byte)
 
 	var schema strings.Builder
-	for _, name := range e.sch.Names() {
-		rs := e.sch.Lookup(name)
+	for _, name := range v.sch.Names() {
+		rs := v.sch.Lookup(name)
 		fmt.Fprintf(&schema, "relation %s (%s)", rs.Name, strings.Join(rs.Attrs, ", "))
 		if keys := rs.KeyAttrs(); len(keys) > 0 {
 			fmt.Fprintf(&schema, " key (%s)", strings.Join(keys, ", "))
@@ -37,25 +37,33 @@ func (e *Engine) snapshotFiles() (map[string][]byte, error) {
 	files["schema.authdb"] = []byte(schema.String())
 
 	var views strings.Builder
-	for _, name := range e.store.ViewNames() {
-		views.WriteString(e.store.ViewDef(name).String())
+	for _, name := range v.store.ViewNames() {
+		views.WriteString(v.store.ViewDef(name).String())
 		views.WriteString(";\n\n")
 	}
-	for _, user := range e.store.Users() {
-		for _, v := range e.store.ViewsFor(user) {
-			fmt.Fprintf(&views, "permit %s to %s;\n", v, user)
+	for _, user := range v.store.Users() {
+		for _, vw := range v.store.ViewsFor(user) {
+			fmt.Fprintf(&views, "permit %s to %s;\n", vw, user)
 		}
 	}
 	files["views.authdb"] = []byte(views.String())
 
-	for _, name := range e.sch.Names() {
+	for _, name := range v.sch.Names() {
 		var buf bytes.Buffer
-		if err := e.rels[name].WriteCSV(&buf); err != nil {
+		if err := v.rels[name].WriteCSV(&buf); err != nil {
 			return nil, fmt.Errorf("rendering %s: %w", name, err)
 		}
 		files["data/"+name+".csv"] = buf.Bytes()
 	}
 	return files, nil
+}
+
+// snapshotFiles renders the head version. Writers that need the state
+// they just built (checkpoints, epoch quarantine) call this after
+// publishLocked, so the head is exactly their state; readers get
+// whatever version is current at the atomic load.
+func (e *Engine) snapshotFiles() (map[string][]byte, error) {
+	return e.head.Load().snapshotFiles()
 }
 
 // sortedPaths returns the file map's keys in deterministic order.
@@ -107,9 +115,7 @@ func writeFileAtomic(fs faultfs.FS, path string, data []byte) error {
 // engine. For crash atomicity across the whole file set, use OpenDurable
 // instead — Save is the export/import surface.
 func (e *Engine) Save(dir string) error {
-	e.mu.RLock()
 	files, err := e.snapshotFiles()
-	e.mu.RUnlock()
 	if err != nil {
 		return err
 	}
@@ -148,25 +154,32 @@ func loadState(fs faultfs.FS, dir string, opt core.Options) (*Engine, error) {
 		return nil, fmt.Errorf("replaying %s: %w", schemaPath, err)
 	}
 
-	for _, name := range e.sch.Names() {
+	e.mu.Lock()
+	for _, name := range e.wsch.Names() {
 		path := filepath.Join(dir, "data", name+".csv")
 		raw, err := fs.ReadFile(path)
 		if err != nil {
+			e.mu.Unlock()
 			return nil, fmt.Errorf("loading %s: %w", name, err)
 		}
 		rel, err := relation.ReadCSV(bytes.NewReader(raw))
 		if err != nil {
+			e.mu.Unlock()
 			return nil, fmt.Errorf("parsing %s: %w", path, err)
 		}
-		if got, want := len(rel.Attrs), e.sch.Lookup(name).Arity(); got != want {
+		if got, want := len(rel.Attrs), e.wsch.Lookup(name).Arity(); got != want {
+			e.mu.Unlock()
 			return nil, fmt.Errorf("%s: csv has %d columns, scheme %d", path, got, want)
 		}
 		for _, t := range rel.Tuples() {
-			if _, err := e.rels[name].Insert(t); err != nil {
+			if _, err := e.vrels[name].Insert(t); err != nil {
+				e.mu.Unlock()
 				return nil, fmt.Errorf("loading %s: %w", name, err)
 			}
 		}
 	}
+	e.publishLocked()
+	e.mu.Unlock()
 
 	viewsPath := filepath.Join(dir, "views.authdb")
 	views, err := fs.ReadFile(viewsPath)

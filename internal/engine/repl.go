@@ -24,17 +24,18 @@ import (
 
 // ReplSnapshot renders a consistent snapshot of the engine's state (the
 // flat file layout loadState reads) together with the LSN it embodies
-// and the committed generation number. It reads the live state under
-// the engine's read lock — no disk round trip, and no race with a
-// concurrent checkpoint rotating the on-disk generation.
+// and the committed generation number. It pins the head version — no
+// engine lock, no disk round trip, and no race with a concurrent
+// checkpoint rotating the on-disk generation: the version's files and
+// LSN are coherent by construction, and the generation number is only
+// forwarded to followers as handshake information.
 func (e *Engine) ReplSnapshot() (files map[string][]byte, lsn, gen uint64, err error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	files, err = e.snapshotFiles()
+	v := e.headVersion()
+	files, err = v.snapshotFiles()
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	return files, e.lsn.Load(), e.snapGen.Load(), nil
+	return files, v.lsn, e.snapGen.Load(), nil
 }
 
 // WALTail returns the durable statements with LSN > from, read from the
@@ -107,13 +108,14 @@ func (e *Engine) ResetFromSnapshot(files map[string][]byte, lsn uint64) error {
 	if err := e.durCheck(); err != nil {
 		return err
 	}
-	e.sch, e.rels, e.store = tmp.sch, tmp.rels, tmp.store
-	if e.masks != nil {
+	e.wsch, e.vrels, e.wstore = tmp.wsch, tmp.vrels, tmp.wstore
+	if e.masks.Load() != nil {
 		// The store's generation counters restarted with the new store;
 		// stale cache entries keyed on the old counters must not survive.
-		e.masks = core.NewMaskCache(0)
+		e.masks.Store(core.NewMaskCache(0))
 	}
 	e.lsn.Store(lsn)
+	e.publishLocked()
 	if e.dur != nil {
 		if err := e.checkpointLocked(e.dur.fs, e.dur.dir, e.dur.gen); err != nil {
 			return fmt.Errorf("persisting replication snapshot: %w", err)

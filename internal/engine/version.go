@@ -1,0 +1,88 @@
+// The engine's MVCC core (DESIGN.md §14). The database is a lineage of
+// immutable versions; each version binds the schema, every base
+// relation's revision, and the authorization store that were current
+// when some mutating statement committed. Writers prepare the next
+// state under the engine's statement lock and publish it with one
+// atomic pointer swap; readers pin the head version at statement start
+// and evaluate against it without taking the engine lock at all — a
+// retrieve is masked against exactly one (meta-database, data) pair, so
+// permit/revoke churn mid-query can never produce a mixed-version
+// answer, and long scans never block commits.
+package engine
+
+import (
+	"fmt"
+
+	"authdb/internal/core"
+	"authdb/internal/relation"
+)
+
+// dbVersion is one immutable database version: everything a statement
+// reads, captured at the commit that published it. Readers must treat
+// every reachable structure as frozen — relations are read through
+// Tuples/Len/the index cache, the store and schema only through their
+// read surface.
+type dbVersion struct {
+	// seq numbers versions within this engine's lifetime (not persisted;
+	// restarts renumber). lsn is the log position the version embodies:
+	// the state after applying statement lsn.
+	seq uint64
+	lsn uint64
+
+	sch   *relation.DBSchema
+	rels  map[string]*relation.Relation
+	store *core.Store
+}
+
+// source resolves base relations for the evaluators against this
+// version; it is the algebra.Source every pinned read uses.
+func (v *dbVersion) source(name string) (*relation.Relation, error) {
+	r, ok := v.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %s", name)
+	}
+	return r, nil
+}
+
+// headVersion pins the current version: one atomic load, no lock. The
+// caller keeps a consistent snapshot for as long as it holds the
+// pointer; concurrent commits publish successors without disturbing it.
+func (e *Engine) headVersion() *dbVersion { return e.head.Load() }
+
+// publishLocked builds the next version from the writer state and swaps
+// it into the head pointer — the commit point for readers. Callers hold
+// e.mu for writing (or have exclusive access during construction). The
+// cost is one shallow map copy over the relation heads, O(#relations),
+// independent of data size.
+func (e *Engine) publishLocked() {
+	e.verSeq++
+	rels := make(map[string]*relation.Relation, len(e.vrels))
+	for n, vr := range e.vrels {
+		rels[n] = vr.Head()
+	}
+	e.head.Store(&dbVersion{
+		seq:   e.verSeq,
+		lsn:   e.lsn.Load(),
+		sch:   e.wsch,
+		rels:  rels,
+		store: e.wstore,
+	})
+}
+
+// writerSource resolves a base relation's current head for the update
+// authorization checks, which run inside the writer's critical section;
+// callers hold e.mu for writing.
+func (e *Engine) writerSource(name string) (*relation.Relation, error) {
+	vr, ok := e.vrels[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %s", name)
+	}
+	return vr.Head(), nil
+}
+
+// DBVersion reports the head version's sequence number and the LSN it
+// embodies — the numbers the metrics gauges and the MVCC tests read.
+func (e *Engine) DBVersion() (seq, lsn uint64) {
+	v := e.head.Load()
+	return v.seq, v.lsn
+}

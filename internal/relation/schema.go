@@ -119,6 +119,22 @@ func (d *DBSchema) Add(s *Schema) error {
 // Lookup returns the scheme for name, or nil.
 func (d *DBSchema) Lookup(name string) *Schema { return d.schemas[name] }
 
+// Clone returns a copy of the database scheme that can be extended
+// without affecting the original. The relation schemes themselves are
+// shared — they are immutable once built — so cloning is O(#relations),
+// which is what lets a versioned engine publish the old scheme to
+// pinned readers while the writer adds a relation to the new one.
+func (d *DBSchema) Clone() *DBSchema {
+	out := &DBSchema{
+		order:   append([]string(nil), d.order...),
+		schemas: make(map[string]*Schema, len(d.schemas)),
+	}
+	for n, s := range d.schemas {
+		out.schemas[n] = s
+	}
+	return out
+}
+
 // Names returns the relation names in definition order.
 func (d *DBSchema) Names() []string { return append([]string(nil), d.order...) }
 

@@ -1,0 +1,105 @@
+package relation
+
+import "fmt"
+
+// Versioned is the MVCC wrapper around a base relation: a lineage of
+// immutable revisions plus the writer-owned bookkeeping that makes each
+// mutation cheap. Head returns the current revision; Insert and Delete
+// never modify a published revision, they build a successor and advance
+// the head, so any goroutine that captured an earlier Head keeps a
+// stable snapshot for as long as it holds the pointer.
+//
+// Contract: a Versioned has a single serialized writer (the engine's
+// statement lock). Inserts extend the newest revision's tuple slice via
+// append — the backing array is shared with older revisions, which is
+// safe precisely because the append frontier only ever advances at the
+// newest revision and readers of an older head see only its own prefix.
+// Deletes build a fresh slice (never compacting shared storage, unlike
+// Relation.Delete). Published revisions must be treated as immutable:
+// read them through Tuples, Len, Sorted, the index cache, or Clone —
+// never through Insert, Append, Delete, or Contains, whose lazy
+// membership-index rebuild mutates the struct.
+//
+// The duplicate-check membership set lives here, owned by the writer,
+// instead of on the revisions: sharing one map across revisions would
+// race with concurrent readers, and copying it per mutation would cost
+// O(n) — exactly what copy-on-write avoids. Each mutated revision gets
+// a fresh secondary-index cache; a pinned reader keeps the indexes it
+// already built for its revision.
+type Versioned struct {
+	head *Relation
+	// memb is the membership set of head, keyed like Relation.index.
+	memb map[string]bool
+}
+
+// NewVersioned creates an empty versioned relation over the attributes.
+func NewVersioned(attrs []string) *Versioned {
+	return &Versioned{head: New(attrs), memb: make(map[string]bool)}
+}
+
+// VersionedOf adopts r as the initial head revision, taking ownership:
+// the caller must not mutate r afterwards.
+func VersionedOf(r *Relation) *Versioned {
+	m := make(map[string]bool, len(r.tuples))
+	for _, t := range r.tuples {
+		m[t.key()] = true
+	}
+	return &Versioned{head: r, memb: m}
+}
+
+// Head returns the current revision. The returned relation is immutable;
+// it remains a consistent snapshot however many mutations follow.
+func (v *Versioned) Head() *Relation { return v.head }
+
+// Len returns the current revision's cardinality.
+func (v *Versioned) Len() int { return len(v.head.tuples) }
+
+// Arity returns the number of attributes.
+func (v *Versioned) Arity() int { return len(v.head.Attrs) }
+
+// Insert adds a tuple under set semantics by publishing a successor
+// revision; it reports whether the tuple was new (a duplicate leaves the
+// head unchanged). The tuple's arity must match the relation's.
+func (v *Versioned) Insert(t Tuple) (bool, error) {
+	if len(t) != len(v.head.Attrs) {
+		return false, fmt.Errorf("arity mismatch: tuple has %d values, relation %d attributes", len(t), len(v.head.Attrs))
+	}
+	k := t.key()
+	if v.memb[k] {
+		return false, nil
+	}
+	v.memb[k] = true
+	old := v.head
+	// Shares old's backing array when capacity allows: the single-writer
+	// contract guarantees only the newest revision's frontier is ever
+	// appended to, so older heads' prefixes are never overwritten.
+	tuples := append(old.tuples, t.Clone())
+	v.head = &Relation{Attrs: old.Attrs, tuples: tuples, idx: newIndexCache()}
+	return true, nil
+}
+
+// Delete removes the tuples satisfying pred by publishing a successor
+// revision built from a fresh slice; it returns how many were removed
+// (zero leaves the head unchanged).
+func (v *Versioned) Delete(pred func(Tuple) bool) int {
+	old := v.head
+	kept := make([]Tuple, 0, len(old.tuples))
+	removed := 0
+	for _, t := range old.tuples {
+		if pred(t) {
+			delete(v.memb, t.key())
+			removed++
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	v.head = &Relation{Attrs: old.Attrs, tuples: kept, idx: newIndexCache()}
+	return removed
+}
+
+// Contains reports set membership in the current revision without
+// touching the revision itself (the writer-owned set answers).
+func (v *Versioned) Contains(t Tuple) bool { return v.memb[t.key()] }
