@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz fuzz-wire bench bench-index bench-serve bench-replica bench-mvcc benchgo
+.PHONY: check build vet test race chaos fuzz fuzz-wire bench bench-index bench-serve bench-replica bench-mvcc bench-mask benchgo
 
 check: build vet race
 
@@ -65,6 +65,12 @@ bench-replica:
 # effective GOMAXPROCS (BENCH_mvcc.json, cmd/authdb/benchmvcc.go).
 bench-mvcc:
 	$(GO) run ./cmd/authdb bench-mvcc
+
+# Materialized mask closure latency profile: cold (no cache, no
+# closure) vs warm (resident closure) vs permit-churn recovery, at
+# GOMAXPROCS 1/4 (BENCH_mask.json, cmd/authdb/benchmask.go).
+bench-mask:
+	$(GO) run ./cmd/authdb bench-mask
 
 # Go testing.B micro-benchmarks.
 benchgo:

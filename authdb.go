@@ -118,14 +118,21 @@ type Options struct {
 	// (they are checked against the pre-projection answer) instead of
 	// being lost at projection time.
 	ExtendedMasks bool
+	// MaskClosure keeps materialized per-(user, query) results resident —
+	// answer, masked relation, and per-mask-tuple row bitmaps — validated
+	// against the definition generations and the scanned relation
+	// revisions, and refreshed incrementally under insert-only churn.
+	// Answers are byte-identical either way; steady-state retrieves skip
+	// both pipelines entirely.
+	MaskClosure bool
 }
 
-// DefaultOptions enables every refinement, the optimized executor, and
-// mask-predicate pushdown.
+// DefaultOptions enables every refinement, the optimized executor,
+// mask-predicate pushdown, and the materialized mask closure.
 func DefaultOptions() Options {
 	return Options{
 		Padding: true, FourCase: true, SelfJoins: true, Subsume: true,
-		OptimizedExec: true, MaskPushdown: true,
+		OptimizedExec: true, MaskPushdown: true, MaskClosure: true,
 	}
 }
 
@@ -138,6 +145,7 @@ func (o Options) internal() core.Options {
 	opt.OptimizedExec = o.OptimizedExec
 	opt.MaskPushdown = o.MaskPushdown
 	opt.ExtendedMasks = o.ExtendedMasks
+	opt.MaskClosure = o.MaskClosure
 	return opt
 }
 

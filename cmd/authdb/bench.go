@@ -301,6 +301,11 @@ func runBench(args []string) int {
 		fmt.Fprintf(os.Stderr, "bench setup: %v\n", err)
 		return 1
 	}
+	// This harness measures the mask cache and the concurrent evaluator;
+	// with the closure on, repeats would be served from materialized
+	// state and neither layer would be exercised. bench-mask owns the
+	// closure's numbers.
+	e.SetMaskClosureEnabled(false)
 	rep := &benchReport{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),

@@ -168,6 +168,11 @@ func runBenchIndex(args []string) int {
 	baseOpt.MaskPushdown = false
 	accelOpt := core.DefaultOptions()
 	accelOpt.MaskPushdown = true
+	// Both configurations compare evaluation strategies on every
+	// retrieve; the closure would serve repeats without evaluating at
+	// all and erase the difference under comparison.
+	baseOpt.MaskClosure = false
+	accelOpt.MaskClosure = false
 
 	base, err := indexBenchEngine(baseOpt)
 	if err != nil {

@@ -1,0 +1,246 @@
+package main
+
+// The bench-mask subcommand: the latency profile of the materialized
+// mask closure. Three configurations over the shared bench fixture, at
+// each requested GOMAXPROCS level:
+//
+//   - cold: mask cache and closure both disabled — every retrieve
+//     rederives its mask and re-evaluates both pipelines, the regime
+//     the paper's §4 meta-algebra describes;
+//   - warm: the default configuration (closure on), after a warmup
+//     pass — steady state, where a retrieve is a lookup against the
+//     resident (user, query) artifact and its revision stamps;
+//   - churn: the closure on while permits churn — each round revokes
+//     and re-grants a view, forcing the definition side of the entry
+//     to invalidate; the round's first retrieve pays the recompute and
+//     the rest measure how the steady state recovers.
+//
+// The report's warm_speedup_p50 (cold p50 / warm p50) is the headline:
+// the closure's claim is an order-of-magnitude drop in read latency
+// once resident.
+//
+//	authdb bench-mask [-dur 2s] [-o BENCH_mask.json] [-procs 1,4] [-churn-reads 20]
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"authdb/internal/engine"
+)
+
+type maskCell struct {
+	Ops       int64   `json:"ops"`
+	QPS       float64 `json:"qps"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+type maskChurnCell struct {
+	// Rounds is how many revoke+permit cycles ran; each is followed by
+	// churnReads retrieves. First* aggregates only the first retrieve
+	// after each cycle (the recompute); Steady* the remainder (the
+	// recovered closure hits).
+	Rounds          int     `json:"rounds"`
+	FirstP50Micros  float64 `json:"first_read_p50_us"`
+	FirstP99Micros  float64 `json:"first_read_p99_us"`
+	SteadyP50Micros float64 `json:"steady_read_p50_us"`
+	SteadyP99Micros float64 `json:"steady_read_p99_us"`
+}
+
+type maskLevel struct {
+	GoMaxProcs     int           `json:"gomaxprocs"`
+	Cold           maskCell      `json:"cold"`
+	Warm           maskCell      `json:"warm"`
+	WarmSpeedupP50 float64       `json:"warm_speedup_p50"`
+	WarmSpeedupQPS float64       `json:"warm_speedup_qps"`
+	Churn          maskChurnCell `json:"churn"`
+	Closure        struct {
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		Refreshes     uint64 `json:"refreshes"`
+		Invalidations uint64 `json:"invalidations"`
+		ResidentRows  int    `json:"resident_rows"`
+	} `json:"closure"`
+}
+
+type maskReport struct {
+	Generated  string         `json:"generated"`
+	NumCPU     int            `json:"num_cpu"`
+	DurationMS int64          `json:"duration_ms_per_cell"`
+	Rows       map[string]int `json:"rows"`
+	Queries    []string       `json:"queries"`
+	Levels     []maskLevel    `json:"levels"`
+}
+
+func runBenchMask(args []string) int {
+	fs := flag.NewFlagSet("bench-mask", flag.ExitOnError)
+	dur := fs.Duration("dur", 2*time.Second, "measurement duration per cell")
+	out := fs.String("o", "BENCH_mask.json", "output JSON file")
+	procsList := fs.String("procs", "1,4", "comma-separated GOMAXPROCS levels")
+	churnReads := fs.Int("churn-reads", 20, "retrieves after each permit churn")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var procs []int
+	for _, field := range strings.Split(*procsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad GOMAXPROCS level %q\n", field)
+			return 1
+		}
+		procs = append(procs, n)
+	}
+
+	report := maskReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		NumCPU:     runtime.NumCPU(),
+		DurationMS: dur.Milliseconds(),
+		Rows: map[string]int{
+			"EMPLOYEE":   benchEmployees,
+			"PROJECT":    benchProjects,
+			"ASSIGNMENT": benchAssignments,
+		},
+	}
+	for _, op := range benchOps {
+		report.Queries = append(report.Queries,
+			op.user+": "+strings.Join(strings.Fields(op.query), " "))
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		lv, err := runMaskLevel(p, *dur, *churnReads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("gomaxprocs=%-2d cold p50=%7.0fµs warm p50=%6.1fµs (%.1fx) | churn first p50=%7.0fµs steady p50=%6.1fµs\n",
+			p, lv.Cold.P50Micros, lv.Warm.P50Micros, lv.WarmSpeedupP50,
+			lv.Churn.FirstP50Micros, lv.Churn.SteadyP50Micros)
+		report.Levels = append(report.Levels, lv)
+	}
+	runtime.GOMAXPROCS(prev)
+
+	blob, _ := json.MarshalIndent(report, "", "  ")
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println("wrote", *out)
+	return 0
+}
+
+func runMaskLevel(p int, dur time.Duration, churnReads int) (maskLevel, error) {
+	lv := maskLevel{GoMaxProcs: p}
+
+	// Cold: no mask cache, no closure — every retrieve from first
+	// principles. A fresh engine per cell keeps the states identical.
+	cold, err := benchEngine()
+	if err != nil {
+		return lv, fmt.Errorf("bench-mask setup: %w", err)
+	}
+	cold.SetMaskCacheEnabled(false)
+	cold.SetMaskClosureEnabled(false)
+	if _, _, err := runLevel(cold, 1, dur/4); err != nil { // warm indexes only
+		return lv, fmt.Errorf("bench-mask cold warmup: %w", err)
+	}
+	if lv.Cold, err = measureMaskCell(cold, dur); err != nil {
+		return lv, fmt.Errorf("bench-mask cold: %w", err)
+	}
+
+	// Warm: the default configuration after a warmup pass populates the
+	// per-(user, query) artifacts.
+	warm, err := benchEngine()
+	if err != nil {
+		return lv, fmt.Errorf("bench-mask setup: %w", err)
+	}
+	if _, _, err := runLevel(warm, 1, dur/4); err != nil {
+		return lv, fmt.Errorf("bench-mask warm warmup: %w", err)
+	}
+	if lv.Warm, err = measureMaskCell(warm, dur); err != nil {
+		return lv, fmt.Errorf("bench-mask warm: %w", err)
+	}
+	if lv.Warm.P50Micros > 0 {
+		lv.WarmSpeedupP50 = lv.Cold.P50Micros / lv.Warm.P50Micros
+	}
+	if lv.Cold.QPS > 0 {
+		lv.WarmSpeedupQPS = lv.Warm.QPS / lv.Cold.QPS
+	}
+
+	// Churn: revoke+permit cycles against the warm engine. BV0 is one of
+	// the fixture's grant-heavy extra views, so the cycle touches the
+	// user's permission generation without changing what any query
+	// delivers.
+	if lv.Churn, err = runMaskChurn(warm, dur, churnReads); err != nil {
+		return lv, fmt.Errorf("bench-mask churn: %w", err)
+	}
+
+	st := warm.MaskClosureStats()
+	lv.Closure.Hits = st.Hits
+	lv.Closure.Misses = st.Misses
+	lv.Closure.Refreshes = st.Refreshes
+	lv.Closure.Invalidations = st.Invalidations()
+	lv.Closure.ResidentRows = st.ResidentRows
+	return lv, nil
+}
+
+// measureMaskCell runs the serial read mix for the duration and folds
+// the latencies into a cell.
+func measureMaskCell(e *engine.Engine, dur time.Duration) (maskCell, error) {
+	ops, lats, err := runLevel(e, 1, dur)
+	if err != nil {
+		return maskCell{}, err
+	}
+	return maskCell{
+		Ops:       ops,
+		QPS:       float64(ops) / dur.Seconds(),
+		P50Micros: percentile(lats, 0.50),
+		P99Micros: percentile(lats, 0.99),
+	}, nil
+}
+
+func runMaskChurn(e *engine.Engine, dur time.Duration, churnReads int) (maskChurnCell, error) {
+	admin := e.NewSession("admin", true)
+	sessions := sessionSet(e, 1)
+	var first, steady []time.Duration
+	rounds := 0
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		op := benchOps[rounds%len(benchOps)]
+		if _, err := admin.Exec(fmt.Sprintf(`revoke BV0 from %s`, op.user)); err != nil {
+			return maskChurnCell{}, err
+		}
+		if _, err := admin.Exec(fmt.Sprintf(`permit BV0 to %s`, op.user)); err != nil {
+			return maskChurnCell{}, err
+		}
+		for i := 0; i < churnReads; i++ {
+			start := time.Now()
+			if _, err := sessions[op.user].Exec(op.query); err != nil {
+				return maskChurnCell{}, err
+			}
+			if i == 0 {
+				first = append(first, time.Since(start))
+			} else {
+				steady = append(steady, time.Since(start))
+			}
+		}
+		rounds++
+	}
+	sort.Slice(first, func(i, j int) bool { return first[i] < first[j] })
+	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
+	return maskChurnCell{
+		Rounds:          rounds,
+		FirstP50Micros:  percentile(first, 0.50),
+		FirstP99Micros:  percentile(first, 0.99),
+		SteadyP50Micros: percentile(steady, 0.50),
+		SteadyP99Micros: percentile(steady, 0.99),
+	}, nil
+}

@@ -55,6 +55,8 @@ func main() {
 			os.Exit(runBenchReplica(os.Args[2:]))
 		case "bench-mvcc":
 			os.Exit(runBenchMVCC(os.Args[2:]))
+		case "bench-mask":
+			os.Exit(runBenchMask(os.Args[2:]))
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
 		case "promote":

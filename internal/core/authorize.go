@@ -109,6 +109,12 @@ type Authorizer struct {
 	// (user, query), validated against the store's definition
 	// generations. Plans that collect intermediates bypass it.
 	Cache *MaskCache
+	// Closure, when non-nil, serves whole retrieves from materialized
+	// resident state (answer, masked relation, statistics, row bitmaps)
+	// validated against both the definition generations and the pinned
+	// relation revisions; see Closure. Plans that collect intermediates
+	// or trace access paths bypass it.
+	Closure *Closure
 	// Trace, when non-nil, collects the access paths the actual-side
 	// evaluator chose (for EXPLAIN).
 	Trace *algebra.Trace
@@ -141,6 +147,24 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 	if cache != nil && a.Opt.CollectIntermediates {
 		// Explain wants the per-phase snapshots, which a hit would skip.
 		cache = nil
+	}
+	closure := a.Closure
+	if closure != nil && (a.Opt.CollectIntermediates || a.Trace != nil) {
+		// Explain wants snapshots and access paths; a closure hit
+		// evaluates nothing.
+		closure = nil
+	}
+	var revs []*relation.Relation
+	if closure != nil {
+		// Pin the scanned revisions once: they stamp both the lookup
+		// and the eventual Store, so the materialization is keyed to
+		// exactly the data this statement reads.
+		revs = a.scanRevs(psj)
+		if revs == nil {
+			closure = nil // unknown relation: let the evaluator report it
+		} else if d, ok, err := closure.Lookup(a, user, psj, revs); ok || err != nil {
+			return d, err
+		}
 	}
 	var mp *MaskPlan
 	if cache != nil {
@@ -178,7 +202,6 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 	fuse := a.Opt.MaskPushdown && !a.Opt.CollectIntermediates &&
 		len(mp.Pushdown) > 0 && !mp.FullyAuthorized
 	d.PushdownApplied = fuse
-	exec := algebra.ExecOptions{UseIndexes: a.Opt.IndexedExec}
 
 	// Actual side. The §6(3) extension masks the wide (pre-projection)
 	// answer, so it executes the query without the final projection and
@@ -189,33 +212,51 @@ func (a *Authorizer) RetrievePlan(user string, psj *algebra.PSJ) (*Decision, err
 		if fuse {
 			widePSJ = fusePushdown(widePSJ, mp.Pushdown)
 		}
-		var wideAns *relation.Relation
-		if a.Opt.OptimizedExec {
-			wideAns, err = algebra.EvalPSJ(widePSJ, a.Source, a.Guard, exec, a.Trace)
-		} else {
-			wideAns, err = algebra.EvalNaiveGuarded(widePSJ.Node(), a.Source, a.Guard)
-		}
+		wideAns, err := a.evalActual(widePSJ, a.Source)
 		if err != nil {
 			return nil, err
 		}
 		d.Answer = wideAns.Project(mp.OutIdx)
 		d.Masked, d.Stats = mp.Mask.ApplyExtended(wideAns, mp.OutIdx, psj.Cols)
+		closure.Store(a.Store, user, psj, a.Opt, revs, mp, d, widePSJ, nil)
 		return d, nil
 	}
 	psjExec := psj
 	if fuse {
 		psjExec = fusePushdown(psjExec, mp.Pushdown)
 	}
-	if a.Opt.OptimizedExec {
-		d.Answer, err = algebra.EvalPSJ(psjExec, a.Source, a.Guard, exec, a.Trace)
-	} else {
-		d.Answer, err = algebra.EvalNaiveGuarded(psjExec.Node(), a.Source, a.Guard)
-	}
+	d.Answer, err = a.evalActual(psjExec, a.Source)
 	if err != nil {
 		return nil, err
 	}
-	d.Masked, d.Stats = mp.Mask.Apply(d.Answer)
+	var pick []int
+	d.Masked, d.Stats, pick = mp.Mask.applyIndexed(d.Answer)
+	closure.Store(a.Store, user, psj, a.Opt, revs, mp, d, psjExec, pick)
 	return d, nil
+}
+
+// evalActual evaluates an actual-side plan against src under the
+// authorizer's execution options and guard.
+func (a *Authorizer) evalActual(p *algebra.PSJ, src algebra.Source) (*relation.Relation, error) {
+	if a.Opt.OptimizedExec {
+		exec := algebra.ExecOptions{UseIndexes: a.Opt.IndexedExec}
+		return algebra.EvalPSJ(p, src, a.Guard, exec, a.Trace)
+	}
+	return algebra.EvalNaiveGuarded(p.Node(), src, a.Guard)
+}
+
+// scanRevs resolves the revision each of the plan's scans reads, in
+// scan order; nil when any scan fails to resolve.
+func (a *Authorizer) scanRevs(psj *algebra.PSJ) []*relation.Relation {
+	revs := make([]*relation.Relation, len(psj.Scans))
+	for i, s := range psj.Scans {
+		r, err := a.Source(s.Rel)
+		if err != nil {
+			return nil
+		}
+		revs[i] = r
+	}
+	return revs
 }
 
 // maskPlanFor runs the meta-side pipeline alone: instantiate the user's

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"sync"
+
+	"authdb/internal/algebra"
+	"authdb/internal/relation"
+	"authdb/internal/value"
+)
+
+// Closure is the materialized mask closure: where MaskCache memoizes
+// the compiled meta-side *plan* per (user, query), the closure keeps
+// the plan's materialized *result* — the evaluated answer, the masked
+// relation actually delivered, the masking statistics, and per-mask-
+// tuple row bitmaps — resident per (user, query, options), so a
+// steady-state retrieve pays one map lookup and a handful of pointer
+// comparisons instead of re-running either pipeline.
+//
+// Validity is two-sided, mirroring the two things a result depends on:
+//
+//   - Definitions: each entry is stamped with the store's view and
+//     per-user permission generations, exactly like MaskCache entries.
+//     Permit, revoke, define view, and drop view move a generation, and
+//     a mismatched entry is discarded (a definition invalidation) — the
+//     mask itself is stale, so nothing survives.
+//   - Data: each entry is stamped with the pointer identity of every
+//     scanned relation revision (MVCC revisions are immutable, so
+//     pointer equality is revision equality). Data changes leave the
+//     generations — and therefore the predicate side of the artifact —
+//     untouched; only the materialized rows and bitmaps go stale.
+//
+// On a data-side mismatch the entry can often be repaired instead of
+// rebuilt: for a single-scan, non-extended plan whose new revision
+// extends the cached one by pure appends (relation.ExtendsByAppend —
+// the common insert-only churn), only the appended window is evaluated
+// through the retained executable plan, its rows are masked through the
+// retained compiled mask, and the answer/masked accumulators and row
+// bitmaps grow in place. Deletions, reallocation, multi-scan plans, and
+// extended masks fall back to a full recompute (which re-Stores).
+//
+// One-mask-tuple-per-row soundness is preserved by construction: the
+// bitmaps are populated from the same bestIndex decision Apply makes —
+// each answer row sets a bit in exactly one tuple's bitmap (the
+// matching tuple starring the most attributes, first on ties), so the
+// materialized masked relation is identical to applying the mask row by
+// row, and no row ever discloses the union of several tuples' reveals.
+//
+// Like MaskCache, the closure is engine-global while stores and
+// revisions are per-version: generation stamps stay coherent because
+// the counters are monotone along the store's clone lineage, and
+// revision stamps are exact by pointer identity. A reader pinned to an
+// older version never matches a newer entry's stamps (and vice versa) —
+// concurrent readers at different versions may displace each other's
+// entries, which costs recomputation, never staleness.
+type Closure struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*closureEntry
+	// order lists live keys oldest-first for FIFO eviction.
+	order []string
+
+	hits        uint64 // lookups served from the closure (incl. refreshes)
+	misses      uint64 // lookups that fell through to full computation
+	refreshes   uint64 // hits that first replayed an appended window
+	invalidDef  uint64 // entries dropped because a definition generation moved
+	invalidData uint64 // lookups that missed because revisions moved irreparably
+}
+
+// closureEntry is one resident materialization. The plan side (plan,
+// psjExec, fused) survives data churn; the result side (revs, res, and
+// the incremental accumulators) is keyed to the stamped revisions.
+type closureEntry struct {
+	viewGen uint64
+	permGen uint64
+	// plan is the compiled meta side; psjExec the actual-side plan that
+	// was executed (pushdown-fused when fused is set).
+	plan    *MaskPlan
+	psjExec *algebra.PSJ
+	fused   bool
+	// revs pins the scanned relation revisions the result was built
+	// against, in scan order.
+	revs []*relation.Relation
+	// res is the published result snapshot; immutable once set (refresh
+	// replaces it wholesale).
+	res *closureResult
+
+	// Incremental state, present for single-scan non-extended plans.
+	// va and vm accumulate the answer and masked relations grow-only
+	// (MVCC-style: published heads are immutable, appends build
+	// successors); bits holds one row bitmap per mask tuple over va's
+	// row positions; stats tracks the masking statistics for va's rows.
+	incremental bool
+	va, vm      *relation.Versioned
+	bits        []*relation.Bitmap
+	stats       MaskStats
+}
+
+// closureResult is the served snapshot: relations must be treated as
+// read-only by every consumer (the same contract as published MVCC
+// revisions — read via Tuples, Sorted, Len; never Insert or Contains).
+type closureResult struct {
+	answer *relation.Relation
+	masked *relation.Relation
+	stats  MaskStats
+}
+
+// DefaultClosureCap bounds an engine's mask closure. Entries hold
+// materialized rows (unlike MaskCache's small plans), so the cap is an
+// order of magnitude tighter; FIFO eviction also bounds how many
+// superseded revisions the stamped pointers keep alive.
+const DefaultClosureCap = 256
+
+// NewClosure creates a closure holding at most capacity entries;
+// capacity <= 0 selects DefaultClosureCap.
+func NewClosure(capacity int) *Closure {
+	if capacity <= 0 {
+		capacity = DefaultClosureCap
+	}
+	return &Closure{cap: capacity, entries: make(map[string]*closureEntry)}
+}
+
+// ClosureStats is a snapshot of the closure's effectiveness counters.
+type ClosureStats struct {
+	// Hits counts lookups served from resident state, including
+	// incremental refreshes; Misses counts lookups that fell through to
+	// the full dual-pipeline computation.
+	Hits, Misses uint64
+	// Refreshes counts the subset of hits that first replayed an
+	// appended window through the retained plan.
+	Refreshes uint64
+	// InvalidDef counts entries dropped because a view or permission
+	// generation moved; InvalidData counts lookups whose revisions had
+	// moved beyond repair (also counted in Misses).
+	InvalidDef, InvalidData uint64
+	// Entries is the current resident entry count; ResidentRows the
+	// total set bits across all row bitmaps.
+	Entries, ResidentRows int
+}
+
+// Invalidations returns the combined invalidation count.
+func (s ClosureStats) Invalidations() uint64 { return s.InvalidDef + s.InvalidData }
+
+// Stats reports the closure's counters. Safe on a nil closure.
+func (c *Closure) Stats() ClosureStats {
+	if c == nil {
+		return ClosureStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := ClosureStats{
+		Hits: c.hits, Misses: c.misses, Refreshes: c.refreshes,
+		InvalidDef: c.invalidDef, InvalidData: c.invalidData,
+		Entries: len(c.entries),
+	}
+	for _, e := range c.entries {
+		for _, b := range e.bits {
+			s.ResidentRows += b.Count()
+		}
+	}
+	return s
+}
+
+// sameRevs reports pointer-wise revision equality.
+func sameRevs(a, b []*relation.Relation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// decisionFor assembles a Decision from resident state. Each hit gets a
+// fresh Decision struct; the relations and plan fields are shared,
+// read-only.
+func decisionFor(e *closureEntry, psj *algebra.PSJ) *Decision {
+	p := e.plan
+	return &Decision{
+		PSJ:             psj,
+		Answer:          e.res.answer,
+		Masked:          e.res.masked,
+		Mask:            p.Mask,
+		Permits:         p.Permits,
+		Stats:           e.res.stats,
+		FullyAuthorized: p.FullyAuthorized,
+		Denied:          p.Denied,
+		Views:           p.Views,
+		Inst:            p.Inst,
+		Pushdown:        p.Pushdown,
+		PushdownApplied: e.fused,
+	}
+}
+
+// Lookup serves a retrieve from resident state when possible. revs are
+// the pinned revisions of the query's scans, in scan order. It returns
+// (decision, true, nil) on a closure hit — exact or after an
+// incremental refresh — and (nil, false, nil) when the caller must run
+// the full computation (and then Store the outcome). A non-nil error
+// arises only from a guard trip during a refresh's window evaluation.
+//
+// The incremental window is evaluated outside the closure lock (so slow
+// refreshes never serialize unrelated lookups) and applied under it
+// after revalidating that no concurrent refresh won; a lost race simply
+// degrades to a miss.
+func (c *Closure) Lookup(a *Authorizer, user string, psj *algebra.PSJ, revs []*relation.Relation) (*Decision, bool, error) {
+	if c == nil {
+		return nil, false, nil
+	}
+	st := a.Store
+	key := cacheKey(user, psj, a.Opt)
+
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false, nil
+	}
+	if e.viewGen != st.ViewGen() || e.permGen != st.PermGen(user) {
+		// The mask itself is stale: drop everything.
+		c.removeLocked(key)
+		c.invalidDef++
+		c.misses++
+		c.mu.Unlock()
+		return nil, false, nil
+	}
+	if sameRevs(e.revs, revs) {
+		c.hits++
+		d := decisionFor(e, psj)
+		c.mu.Unlock()
+		return d, true, nil
+	}
+	if !e.incremental || len(revs) != 1 || !relation.ExtendsByAppend(e.revs[0], revs[0]) {
+		// Data moved beyond repair for this entry; the predicate side
+		// still lives on in the MaskCache, so the recompute skips the
+		// meta pipeline. The entry stays resident meanwhile — readers
+		// pinned to its revisions keep hitting it until Store replaces.
+		c.invalidData++
+		c.misses++
+		c.mu.Unlock()
+		return nil, false, nil
+	}
+	oldRev := e.revs[0]
+	base := oldRev.Len()
+	plan, psjExec := e.plan, e.psjExec
+	c.mu.Unlock()
+
+	// Evaluate just the appended window through the retained plan,
+	// unlocked: the window and the old revision are immutable.
+	tail := revs[0].Suffix(base)
+	src := algebra.MapSource(map[string]*relation.Relation{psj.Scans[0].Rel: tail})
+	tailAns, err := a.evalActual(psjExec, src)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e2, ok := c.entries[key]
+	if !ok || e2 != e || e.viewGen != st.ViewGen() || e.permGen != st.PermGen(user) {
+		c.misses++
+		return nil, false, nil
+	}
+	if sameRevs(e.revs, revs) {
+		// A concurrent refresh reached our target revision first.
+		c.hits++
+		return decisionFor(e, psj), true, nil
+	}
+	if e.revs[0] != oldRev {
+		// Refreshed past a different revision; our window basis is gone.
+		c.invalidData++
+		c.misses++
+		return nil, false, nil
+	}
+	ex := plan.Mask.compiled()
+	width := e.va.Arity()
+	for _, t := range tailAns.Tuples() {
+		// Projection can collapse an appended base row onto an answer
+		// row already delivered; the answer is a set.
+		if e.va.Contains(t) {
+			continue
+		}
+		pos := e.va.Len()
+		e.va.Insert(t) //nolint:errcheck // arity correct by construction
+		bi := plan.Mask.bestIndex(ex, t)
+		if bi < 0 {
+			continue
+		}
+		e.bits[bi].Set(pos)
+		revealed := ex.reveal[bi]
+		row := make(relation.Tuple, width)
+		full := true
+		for k := range row {
+			if revealed[k] {
+				row[k] = t[k]
+				e.stats.RevealedCells++
+			} else {
+				row[k] = value.Null()
+				full = false
+			}
+		}
+		e.stats.RevealedRows++
+		if full {
+			e.stats.FullRows++
+		}
+		e.vm.Insert(row) //nolint:errcheck // arity correct by construction
+	}
+	e.stats.Rows = e.va.Len()
+	e.stats.Cells = e.stats.Rows * width
+	e.revs = append([]*relation.Relation(nil), revs...)
+	e.res = &closureResult{answer: e.va.Head(), masked: e.vm.Head(), stats: e.stats}
+	c.refreshes++
+	c.hits++
+	return decisionFor(e, psj), true, nil
+}
+
+// Store materializes a freshly computed decision: the executed plan,
+// the revision stamps, the result snapshot, and — for single-scan
+// non-extended plans — the incremental accumulators and per-tuple row
+// bitmaps (pick is applyIndexed's row-to-tuple assignment; nil on the
+// extended path). Store takes ownership of d.Answer and d.Masked in the
+// MVCC sense: their published prefixes stay immutable, later refreshes
+// extend the shared backing arrays past them.
+func (c *Closure) Store(st *Store, user string, psj *algebra.PSJ, opt Options, revs []*relation.Relation, mp *MaskPlan, d *Decision, psjExec *algebra.PSJ, pick []int) {
+	if c == nil || mp == nil || d == nil {
+		return
+	}
+	e := &closureEntry{
+		viewGen: st.ViewGen(),
+		permGen: st.PermGen(user),
+		plan:    mp,
+		psjExec: psjExec,
+		fused:   d.PushdownApplied,
+		revs:    append([]*relation.Relation(nil), revs...),
+		res:     &closureResult{answer: d.Answer, masked: d.Masked, stats: d.Stats},
+		stats:   d.Stats,
+	}
+	if len(psj.Scans) == 1 && !opt.ExtendedMasks && pick != nil {
+		e.incremental = true
+		e.va = relation.VersionedOf(d.Answer)
+		e.vm = relation.VersionedOf(d.Masked)
+		e.bits = make([]*relation.Bitmap, len(mp.Mask.Tuples))
+		for i := range e.bits {
+			e.bits[i] = relation.NewBitmap()
+		}
+		for pos, bi := range pick {
+			if bi >= 0 {
+				e.bits[bi].Set(pos)
+			}
+		}
+	}
+	key := cacheKey(user, psj, opt)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.removeLocked(key)
+	}
+	for len(c.entries) >= c.cap && len(c.order) > 0 {
+		c.removeLocked(c.order[0])
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+}
+
+// removeLocked deletes key from the map and the FIFO order; callers
+// hold c.mu.
+func (c *Closure) removeLocked(key string) {
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"authdb/internal/core"
+	"authdb/internal/cview"
+	"authdb/internal/relation"
+	"authdb/internal/value"
+	"authdb/internal/workload"
+)
+
+// mvccFixture wraps a fixture's relations in Versioned lineages so data
+// churn follows the engine's MVCC discipline the closure relies on:
+// every mutation publishes a successor revision (a fresh *Relation),
+// never mutating a pointer the closure may have stamped.
+type mvccFixture struct {
+	f    *workload.Fixture
+	vers map[string]*relation.Versioned
+}
+
+func newMVCCFixture(f *workload.Fixture) *mvccFixture {
+	m := &mvccFixture{f: f, vers: make(map[string]*relation.Versioned)}
+	for name, r := range f.Rels {
+		m.vers[name] = relation.VersionedOf(r)
+	}
+	m.sync()
+	return m
+}
+
+func (m *mvccFixture) sync() {
+	for name, v := range m.vers {
+		m.f.Rels[name] = v.Head()
+	}
+}
+
+func (m *mvccFixture) insert(rel string, vals ...int64) {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = value.Int(v)
+	}
+	if _, err := m.vers[rel].Insert(t); err != nil {
+		panic(err)
+	}
+	m.sync()
+}
+
+func (m *mvccFixture) deleteWhere(rel string, pred func(relation.Tuple) bool) int {
+	n := m.vers[rel].Delete(pred)
+	m.sync()
+	return n
+}
+
+// compareDecisions fails unless the two decisions agree on everything a
+// user can observe: the delivered relation (set equality — rendering is
+// canonical, so this is byte-identical output), the permit statements,
+// the grant/deny flags, and the revealed statistics.
+func compareDecisions(t *testing.T, label string, got, want *core.Decision) {
+	t.Helper()
+	if !got.Masked.Equal(want.Masked) {
+		t.Fatalf("%s: masked answers differ:\n%s\nvs\n%s", label, got.Masked, want.Masked)
+	}
+	if got.FullyAuthorized != want.FullyAuthorized || got.Denied != want.Denied {
+		t.Fatalf("%s: outcome flags differ: (%v,%v) vs (%v,%v)", label,
+			got.FullyAuthorized, got.Denied, want.FullyAuthorized, want.Denied)
+	}
+	if permitsKey(got.Permits) != permitsKey(want.Permits) {
+		t.Fatalf("%s: permits differ:\n%s\nvs\n%s", label, permitsKey(got.Permits), permitsKey(want.Permits))
+	}
+	if got.Stats.RevealedCells != want.Stats.RevealedCells ||
+		got.Stats.RevealedRows != want.Stats.RevealedRows ||
+		got.Stats.FullRows != want.Stats.FullRows {
+		t.Fatalf("%s: revealed stats differ: %+v vs %+v", label, got.Stats, want.Stats)
+	}
+}
+
+// TestClosureDecisionsIdentical is the sixth differential variant: a
+// closure-backed authorizer must deliver byte-identical answers to a
+// fresh recompute — cold, warm (exact hit), under append churn
+// (incremental refresh), after deletions (data invalidation), and after
+// definition changes (generation invalidation) — across randomized
+// databases, views, queries, and option mixes, including the naive
+// evaluator and extended masks.
+func TestClosureDecisionsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	cases := 300
+	if testing.Short() {
+		cases = 60
+	}
+	var served core.ClosureStats
+	for iter := 0; iter < cases; iter++ {
+		f := soundFixture(rng, 10)
+		randJoinView(f, rng, 0)
+		if rng.Intn(2) == 0 {
+			randJoinView(f, rng, 1)
+		}
+		def := randQueryDef(rng)
+		base := core.DefaultOptions()
+		base.ExtendedMasks = rng.Intn(2) == 0
+		base.MaskPushdown = rng.Intn(2) == 0
+		base.IndexedExec = rng.Intn(2) == 0
+		if rng.Intn(4) == 0 {
+			base.OptimizedExec = false
+		}
+		m := newMVCCFixture(f)
+
+		ca := core.NewAuthorizer(f.Store, f.Source, base)
+		ca.Cache = core.NewMaskCache(0)
+		ca.Closure = core.NewClosure(0)
+
+		naive := base
+		naive.OptimizedExec = false
+		naive.IndexedExec = false
+		naive.MaskPushdown = false
+
+		check := func(step string) {
+			t.Helper()
+			label := fmt.Sprintf("case %d %s (ext=%v push=%v opt=%v) query %s",
+				iter, step, base.ExtendedMasks, base.MaskPushdown, base.OptimizedExec, def)
+			got, err := ca.Retrieve("u", def)
+			if err != nil {
+				t.Fatalf("%s: closure-backed: %v", label, err)
+			}
+			want, err := core.NewAuthorizer(f.Store, f.Source, base).Retrieve("u", def)
+			if err != nil {
+				t.Fatalf("%s: recompute: %v", label, err)
+			}
+			compareDecisions(t, label, got, want)
+			nd, err := core.NewAuthorizer(f.Store, f.Source, naive).Retrieve("u", def)
+			if err != nil {
+				t.Fatalf("%s: naive: %v", label, err)
+			}
+			if !got.Masked.Equal(nd.Masked) {
+				t.Fatalf("%s: closure-backed masked differs from naive:\n%s\nvs\n%s",
+					label, got.Masked, nd.Masked)
+			}
+		}
+
+		check("cold")
+		check("warm")
+		for j := 0; j < 3; j++ {
+			m.insert("R", int64(100+j), int64(rng.Intn(10)), int64(rng.Intn(6)))
+			if rng.Intn(2) == 0 {
+				m.insert("S", int64(100+j), int64(rng.Intn(6)))
+			}
+			check(fmt.Sprintf("append %d", j))
+		}
+		cut := int64(rng.Intn(6))
+		m.deleteWhere("R", func(tp relation.Tuple) bool { return tp[2].Equal(value.Int(cut)) })
+		check("after delete")
+		m.insert("R", 200, int64(rng.Intn(10)), int64(rng.Intn(6)))
+		check("append after delete")
+		// Definition churn: a new permit moves the permission generation.
+		randJoinView(f, rng, 7)
+		check("after new view+permit")
+		f.Store.Revoke("J7", "u")
+		check("after revoke")
+
+		s := ca.Closure.Stats()
+		served.Hits += s.Hits
+		served.Refreshes += s.Refreshes
+		served.InvalidDef += s.InvalidDef
+		served.InvalidData += s.InvalidData
+	}
+	// The run must actually have exercised every closure path.
+	if served.Hits == 0 || served.Refreshes == 0 || served.InvalidDef == 0 || served.InvalidData == 0 {
+		t.Fatalf("differential did not exercise all closure paths: %+v", served)
+	}
+}
+
+// closureMatrixFixture: one relation, one partial view, a single-scan
+// query — the incremental-eligible shape.
+func closureMatrixFixture(t *testing.T) (*workload.Fixture, *mvccFixture, *cview.Def) {
+	t.Helper()
+	f := workload.NewFixture()
+	f.MustExec(`
+		relation R (A, B, C) key (A);
+		insert into R values (1, 10, 1);
+		insert into R values (2, 20, 3);
+		insert into R values (3, 30, 5);
+		view V (R.A, R.B) where R.B >= 15;
+		permit V to u;
+	`)
+	def := &cview.Def{Cols: []cview.ColRef{{Alias: "R", Attr: "A"}, {Alias: "R", Attr: "B"}}}
+	return f, newMVCCFixture(f), def
+}
+
+// TestClosureInvalidationMatrix drives each closure transition and
+// asserts the counters and the retained state: exact hits on unchanged
+// state, incremental refreshes on pure appends, data invalidation (with
+// the predicate side surviving in the mask cache) on deletes, and
+// definition invalidation on each of permit, revoke, define view, and
+// drop view — but not on another user's permit.
+func TestClosureInvalidationMatrix(t *testing.T) {
+	f, m, def := closureMatrixFixture(t)
+	opt := core.DefaultOptions()
+	opt.MaskPushdown = true
+	ca := core.NewAuthorizer(f.Store, f.Source, opt)
+	ca.Cache = core.NewMaskCache(0)
+	ca.Closure = core.NewClosure(0)
+
+	retrieve := func(step string) *core.Decision {
+		t.Helper()
+		d, err := ca.Retrieve("u", def)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		want, err := core.NewAuthorizer(f.Store, f.Source, opt).Retrieve("u", def)
+		if err != nil {
+			t.Fatalf("%s recompute: %v", step, err)
+		}
+		compareDecisions(t, step, d, want)
+		return d
+	}
+	assertStats := func(step string, want core.ClosureStats) {
+		t.Helper()
+		got := ca.Closure.Stats()
+		got.Entries, got.ResidentRows = 0, 0 // counters only
+		if got != want {
+			t.Fatalf("%s: closure stats %+v, want %+v", step, got, want)
+		}
+	}
+
+	retrieve("cold")
+	assertStats("cold", core.ClosureStats{Misses: 1})
+	retrieve("warm")
+	assertStats("warm", core.ClosureStats{Hits: 1, Misses: 1})
+
+	// Pure appends: incremental refresh, then exact hits again.
+	m.insert("R", 4, 40, 4) // delivered (B >= 15)
+	m.insert("R", 5, 5, 0)  // withheld
+	d := retrieve("after append")
+	assertStats("after append", core.ClosureStats{Hits: 2, Misses: 1, Refreshes: 1})
+	if d.Masked.Len() != 3 {
+		t.Fatalf("after append: delivered %d rows, want 3", d.Masked.Len())
+	}
+	retrieve("warm after append")
+	assertStats("warm after append", core.ClosureStats{Hits: 3, Misses: 1, Refreshes: 1})
+
+	// Deletion: the materialization is unrepairable, but the mask plan
+	// survives in the cache — data churn never touches the predicate
+	// side.
+	ch0, cm0, _ := ca.Cache.Stats()
+	if m.deleteWhere("R", func(tp relation.Tuple) bool { return tp[0].Equal(value.Int(2)) }) != 1 {
+		t.Fatal("delete removed nothing")
+	}
+	d = retrieve("after delete")
+	assertStats("after delete", core.ClosureStats{Hits: 3, Misses: 2, Refreshes: 1, InvalidData: 1})
+	if d.Masked.Len() != 2 {
+		t.Fatalf("after delete: delivered %d rows, want 2", d.Masked.Len())
+	}
+	ch1, cm1, _ := ca.Cache.Stats()
+	if ch1 != ch0+1 || cm1 != cm0 {
+		t.Fatalf("delete should recompute through the cached mask plan: cache hits %d→%d misses %d→%d",
+			ch0, ch1, cm0, cm1)
+	}
+
+	// Another principal's permit must not invalidate u's entry.
+	if err := tryExec(f, "view W (R.A); permit W to other;"); err != nil {
+		t.Fatal(err)
+	}
+	// (the view definition moves the view generation — a real
+	// invalidation for everyone; re-warm first)
+	retrieve("rewarm after foreign view")
+	assertStats("rewarm after foreign view", core.ClosureStats{Hits: 3, Misses: 3, Refreshes: 1, InvalidData: 1, InvalidDef: 1})
+	if err := f.Store.Permit("W", "stranger"); err != nil {
+		t.Fatal(err)
+	}
+	retrieve("after foreign permit")
+	assertStats("after foreign permit", core.ClosureStats{Hits: 4, Misses: 3, Refreshes: 1, InvalidData: 1, InvalidDef: 1})
+
+	// Each definition statement touching u or the view set invalidates.
+	steps := []struct {
+		name string
+		mut  func()
+	}{
+		{"permit", func() {
+			if err := f.Store.Permit("W", "u"); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"revoke", func() {
+			if !f.Store.Revoke("W", "u") {
+				t.Fatal("revoke failed")
+			}
+		}},
+		{"define view", func() {
+			if err := tryExec(f, "view X (R.C);"); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"drop view", func() {
+			if !f.Store.DropView("X") {
+				t.Fatal("drop failed")
+			}
+		}},
+	}
+	base := ca.Closure.Stats()
+	for _, st := range steps {
+		st.mut()
+		retrieve(st.name)
+		base.InvalidDef++
+		base.Misses++
+		assertStats(st.name, core.ClosureStats{
+			Hits: base.Hits, Misses: base.Misses, Refreshes: base.Refreshes,
+			InvalidDef: base.InvalidDef, InvalidData: base.InvalidData,
+		})
+	}
+}
+
+// TestClosureResidentBitmaps checks the materialized artifact itself:
+// the per-tuple row bitmaps partition the delivered rows (one mask
+// tuple per row — the soundness requirement), and their total matches
+// the revealed row count through appends.
+func TestClosureResidentBitmaps(t *testing.T) {
+	f, m, def := closureMatrixFixture(t)
+	opt := core.DefaultOptions()
+	ca := core.NewAuthorizer(f.Store, f.Source, opt)
+	ca.Closure = core.NewClosure(0)
+
+	d, err := ca.Retrieve("u", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ca.Closure.Stats().ResidentRows; got != d.Stats.RevealedRows {
+		t.Fatalf("resident bitmap rows %d, want RevealedRows %d", got, d.Stats.RevealedRows)
+	}
+	for i := 0; i < 5; i++ {
+		m.insert("R", int64(10+i), int64(i), int64(i%6))
+		d, err = ca.Retrieve("u", def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ca.Closure.Stats().ResidentRows; got != d.Stats.RevealedRows {
+			t.Fatalf("append %d: resident bitmap rows %d, want RevealedRows %d",
+				i, got, d.Stats.RevealedRows)
+		}
+	}
+	if ca.Closure.Stats().Refreshes == 0 {
+		t.Fatal("appends never refreshed incrementally")
+	}
+}

@@ -39,6 +39,13 @@ type Options struct {
 	// nested-loop joins, and statistics-informed join ordering. Results
 	// are identical to plain optimized execution; only access paths change.
 	IndexedExec bool
+	// MaskClosure lets an engine attach a materialized mask closure:
+	// resident per-(user, query) results validated by definition
+	// generations and relation-revision identity, refreshed
+	// incrementally on pure-append data churn (see Closure). Answers
+	// are byte-identical with or without it; only steady-state cost
+	// changes, so it is on by default.
+	MaskClosure bool
 	// MaskPushdown conjoins the mask-derived necessary delivery condition
 	// (Mask.PushdownAtoms) with the actual-side plan, pruning rows the
 	// mask would withhold entirely before they are materialized. The
@@ -76,6 +83,7 @@ func DefaultOptions() Options {
 		Subsume:       true,
 		OptimizedExec: true,
 		IndexedExec:   true,
+		MaskClosure:   true,
 		ViewCopies:    2,
 	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"sort"
 	"strings"
+	"sync/atomic"
 
 	"authdb/internal/relation"
 	"authdb/internal/value"
@@ -117,6 +119,73 @@ type Mask struct {
 	Tuples []*MetaTuple
 	// names resolves variable display names for rendering.
 	names func(VarID) string
+	// exec caches the compiled application order (star counts, reveal
+	// templates, tuples sorted most-revealing-first); built lazily on
+	// first Apply, atomically so masks shared across concurrent readers
+	// need no lock. Subsume resets it.
+	exec atomic.Pointer[maskExec]
+}
+
+// maskExec is the compiled form of a mask for application: per-tuple
+// star counts and reveal templates computed once instead of inside the
+// row loop, and the tuple order to probe. Tuples are stably sorted by
+// descending star count, so the first match *is* the best match — the
+// original scan kept the first tuple achieving the maximum star count
+// among matchers, which is exactly the first matcher in (count desc,
+// original position asc) order. Zero-star tuples are excluded: they can
+// never be selected (revealing nothing is the same as not matching).
+type maskExec struct {
+	// order lists indices into Mask.Tuples, descending star count,
+	// original order within equal counts.
+	order []int
+	// stars and reveal are indexed by original tuple position.
+	stars  []int
+	reveal [][]bool
+}
+
+// compiled returns the mask's compiled form, building it on first use.
+// A concurrent race builds identical values; the last store wins and
+// every caller proceeds with a correct copy.
+func (m *Mask) compiled() *maskExec {
+	if e := m.exec.Load(); e != nil {
+		return e
+	}
+	e := &maskExec{
+		stars:  make([]int, len(m.Tuples)),
+		reveal: make([][]bool, len(m.Tuples)),
+	}
+	for i, mt := range m.Tuples {
+		rv := make([]bool, len(mt.Cells))
+		n := 0
+		for k, c := range mt.Cells {
+			if c.Star {
+				rv[k] = true
+				n++
+			}
+		}
+		e.stars[i] = n
+		e.reveal[i] = rv
+		if n > 0 {
+			e.order = append(e.order, i)
+		}
+	}
+	sort.SliceStable(e.order, func(a, b int) bool {
+		return e.stars[e.order[a]] > e.stars[e.order[b]]
+	})
+	m.exec.Store(e)
+	return e
+}
+
+// bestIndex returns the position in m.Tuples of the tuple that delivers
+// answer row t — the matching tuple starring the most attributes, first
+// occurrence on ties — or -1 when no revealing tuple matches.
+func (m *Mask) bestIndex(ex *maskExec, t relation.Tuple) int {
+	for _, i := range ex.order {
+		if m.Tuples[i].Matches(t) {
+			return i
+		}
+	}
+	return -1
 }
 
 // NewMask wraps the final meta-relation; inst may be nil.
@@ -161,39 +230,28 @@ func (s MaskStats) Empty() bool { return s.RevealedCells == 0 }
 // the §4.2 self-join refinement produces a single merged tuple that
 // reveals the union by itself.
 func (m *Mask) Apply(ans *relation.Relation) (*relation.Relation, MaskStats) {
+	out, stats, _ := m.applyIndexed(ans)
+	return out, stats
+}
+
+// applyIndexed is Apply returning, additionally, the index in m.Tuples
+// of the delivering mask tuple per answer row (-1 for dropped rows), in
+// answer order — the raw material for the closure's per-tuple row
+// bitmaps. Star counts and reveal templates come precomputed from the
+// compiled form rather than being recounted inside the row loop.
+func (m *Mask) applyIndexed(ans *relation.Relation) (*relation.Relation, MaskStats, []int) {
+	ex := m.compiled()
 	stats := MaskStats{Rows: ans.Len(), Cells: ans.Len() * ans.Arity()}
 	out := relation.New(ans.Attrs)
 	width := ans.Arity()
+	pick := make([]int, 0, ans.Len())
 	for _, t := range ans.Tuples() {
-		var best *MetaTuple
-		bestCount := 0
-		for _, mt := range m.Tuples {
-			if !mt.Matches(t) {
-				continue
-			}
-			count := 0
-			for _, c := range mt.Cells {
-				if c.Star {
-					count++
-				}
-			}
-			if count > bestCount {
-				best, bestCount = mt, count
-			}
-		}
-		revealed := make([]bool, width)
-		any := false
-		if best != nil {
-			for k, c := range best.Cells {
-				if c.Star {
-					revealed[k] = true
-					any = true
-				}
-			}
-		}
-		if !any {
+		bi := m.bestIndex(ex, t)
+		pick = append(pick, bi)
+		if bi < 0 {
 			continue
 		}
+		revealed := ex.reveal[bi]
 		stats.RevealedRows++
 		row := make(relation.Tuple, width)
 		full := true
@@ -211,7 +269,7 @@ func (m *Mask) Apply(ans *relation.Relation) (*relation.Relation, MaskStats) {
 		}
 		out.Insert(row) //nolint:errcheck // arity correct by construction
 	}
-	return out, stats
+	return out, stats, pick
 }
 
 // Permits renders one inferred permit statement per mask tuple, after
@@ -305,6 +363,10 @@ func (m *Mask) Subsume() {
 		}
 	}
 	m.Tuples = kept
+	// The compiled form indexes into Tuples; discard any built against
+	// the pre-subsumption list. (Plans subsume before publication, so in
+	// practice nothing has compiled yet.)
+	m.exec.Store(nil)
 }
 
 // covers reports whether mask tuple a reveals at least as much as b on

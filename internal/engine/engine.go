@@ -65,6 +65,13 @@ type Engine struct {
 	// across versions because the counters are monotone along the
 	// store's clone lineage.
 	masks atomic.Pointer[core.MaskCache]
+	// closures holds the materialized mask closure: resident
+	// per-(user, query) results (answer, masked relation, row bitmaps)
+	// validated lazily at lookup time against the definition generations
+	// and the pinned relation revisions, so the commit path never
+	// touches it. Same atomic-pointer discipline as masks (nil =
+	// disabled); see core.Closure for the coherence argument.
+	closures atomic.Pointer[core.Closure]
 	// dur is the crash-safe persistence attachment (nil for in-memory
 	// engines); see durable.go.
 	dur *durable
@@ -136,6 +143,9 @@ func New(opt core.Options) *Engine {
 	}
 	e.wstore = core.NewStore(sch)
 	e.masks.Store(core.NewMaskCache(0))
+	if opt.MaskClosure {
+		e.closures.Store(core.NewClosure(0))
+	}
 	e.epoch.Store(1)
 	e.commitCond = sync.NewCond(&e.commitMu)
 	e.publishLocked() // version 1: the empty database
@@ -159,6 +169,25 @@ func (e *Engine) SetMaskCacheEnabled(on bool) {
 		}
 	} else {
 		e.masks.Store(nil)
+	}
+}
+
+// MaskClosureStats reports the materialized mask closure's counters
+// (all zero when disabled). Lock-free pickup, like the readers.
+func (e *Engine) MaskClosureStats() core.ClosureStats {
+	return e.closures.Load().Stats()
+}
+
+// SetMaskClosureEnabled enables or disables the materialized mask
+// closure; the benchmark harness disables it to measure the
+// per-retrieve baseline. Disabling discards the resident entries.
+func (e *Engine) SetMaskClosureEnabled(on bool) {
+	if on {
+		if e.closures.Load() == nil {
+			e.closures.Store(core.NewClosure(0))
+		}
+	} else {
+		e.closures.Store(nil)
 	}
 }
 
@@ -538,6 +567,7 @@ func (s *Session) RetrieveContext(ctx context.Context, def *cview.Def) (*Result,
 	auth := core.NewAuthorizer(v.store, v.source, s.eng.opt)
 	auth.Guard = g
 	auth.Cache = s.eng.masks.Load()
+	auth.Closure = s.eng.closures.Load()
 	d, err := auth.Retrieve(s.user, def)
 	if err != nil {
 		return nil, err

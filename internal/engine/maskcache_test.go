@@ -30,6 +30,9 @@ func renderResult(res *engine.Result) string {
 
 func TestMaskCacheHitIsByteIdentical(t *testing.T) {
 	e := paperEngine(t)
+	// Pin the layer under test: with the closure on, a repeated retrieve
+	// is served from materialized state and never consults this cache.
+	e.SetMaskClosureEnabled(false)
 	s := e.NewSession("Brown", false)
 	first, err := s.Exec(workload.Example1Query)
 	if err != nil {
@@ -137,6 +140,9 @@ func TestMaskCacheViewRedefinitionInvalidates(t *testing.T) {
 
 func TestMaskCacheSurvivesDataChanges(t *testing.T) {
 	e := paperEngine(t)
+	// Pin the layer under test: the closure would serve these retrieves
+	// without consulting the mask cache, masking the counters.
+	e.SetMaskClosureEnabled(false)
 	admin := e.NewSession("admin", true)
 	brown := e.NewSession("Brown", false)
 

@@ -55,6 +55,29 @@ func (e *Engine) registerMetrics() {
 		_, _, n := e.MaskCacheStats()
 		return float64(n)
 	})
+	// Closure effectiveness: hits serve materialized results without
+	// running either pipeline; refreshes are the subset that replayed an
+	// appended window first; invalidations split into definition-driven
+	// (generation moved, entry dropped) and data-driven (revisions moved
+	// beyond repair).
+	e.met.CounterFunc("authdb_mask_closure_hits_total", func() float64 {
+		return float64(e.MaskClosureStats().Hits)
+	})
+	e.met.CounterFunc("authdb_mask_closure_misses_total", func() float64 {
+		return float64(e.MaskClosureStats().Misses)
+	})
+	e.met.CounterFunc("authdb_mask_closure_refreshes_total", func() float64 {
+		return float64(e.MaskClosureStats().Refreshes)
+	})
+	e.met.CounterFunc("authdb_mask_closure_invalidations_total", func() float64 {
+		return float64(e.MaskClosureStats().Invalidations())
+	})
+	e.met.GaugeFunc("authdb_mask_closure_entries", func() float64 {
+		return float64(e.MaskClosureStats().Entries)
+	})
+	e.met.GaugeFunc("authdb_mask_closure_resident_rows", func() float64 {
+		return float64(e.MaskClosureStats().ResidentRows)
+	})
 	// Replication lag is an LSN delta, so both ends of a stream expose
 	// their position: applied, durable, and the snapshot generation.
 	e.met.GaugeFunc("authdb_wal_lsn", func() float64 {

@@ -1,0 +1,77 @@
+package relation
+
+import "math/bits"
+
+// Bitmap is a growable bitset over row positions. The mask closure keys
+// one per mask tuple, bit i meaning "answer row i is delivered through
+// this tuple": applying a materialized mask is then bitmap membership
+// plus column projection instead of per-row meta-tuple matching.
+//
+// The zero value is ready to use. A Bitmap has a single writer; readers
+// of a published (no longer written) bitmap need no synchronization.
+type Bitmap struct {
+	words []uint64
+}
+
+// NewBitmap returns an empty bitmap.
+func NewBitmap() *Bitmap { return &Bitmap{} }
+
+// Set marks position i, growing the bitmap as needed.
+func (b *Bitmap) Set(i int) {
+	w := i >> 6
+	for len(b.words) <= w {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << uint(i&63)
+}
+
+// Get reports whether position i is set; positions beyond the current
+// growth are unset.
+func (b *Bitmap) Get(i int) bool {
+	w := i >> 6
+	if b == nil || w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the number of set positions.
+func (b *Bitmap) Count() int {
+	if b == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// And returns the intersection of b and o as a new bitmap.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	out := NewBitmap()
+	if b == nil || o == nil {
+		return out
+	}
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if w := b.words[i] & o.words[i]; w != 0 {
+			for len(out.words) <= i {
+				out.words = append(out.words, 0)
+			}
+			out.words[i] = w
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (b *Bitmap) Clone() *Bitmap {
+	if b == nil {
+		return NewBitmap()
+	}
+	return &Bitmap{words: append([]uint64(nil), b.words...)}
+}

@@ -1,0 +1,148 @@
+package relation
+
+import (
+	"testing"
+
+	"authdb/internal/value"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap()
+	if b.Get(0) || b.Get(1000) || b.Count() != 0 {
+		t.Fatal("fresh bitmap not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 500} {
+		b.Set(i)
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 500} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(2) || b.Get(499) || b.Get(501) {
+		t.Fatal("unset bit reads set")
+	}
+	if b.Count() != 6 {
+		t.Fatalf("count %d, want 6", b.Count())
+	}
+	b.Set(64) // idempotent
+	if b.Count() != 6 {
+		t.Fatalf("re-set changed count to %d", b.Count())
+	}
+
+	o := NewBitmap()
+	o.Set(1)
+	o.Set(64)
+	o.Set(200)
+	and := b.And(o)
+	if and.Count() != 2 || !and.Get(1) || !and.Get(64) || and.Get(200) || and.Get(0) {
+		t.Fatalf("intersection wrong: count %d", and.Count())
+	}
+
+	c := b.Clone()
+	c.Set(7)
+	if b.Get(7) {
+		t.Fatal("clone shares storage")
+	}
+
+	var nilB *Bitmap
+	if nilB.Get(3) || nilB.Count() != 0 || nilB.And(o).Count() != 0 || nilB.Clone().Count() != 0 {
+		t.Fatal("nil bitmap not inert")
+	}
+}
+
+func tup(vals ...int64) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = value.Int(v)
+	}
+	return t
+}
+
+// TestExtendsByAppend drives the lineage detector through the cases the
+// closure relies on: append sharing, append with reallocation, deletes
+// anywhere in the prefix, delete-then-append, and the empty base.
+func TestExtendsByAppend(t *testing.T) {
+	v := NewVersioned([]string{"A", "B"})
+	empty := v.Head()
+	for i := int64(0); i < 3; i++ {
+		if _, err := v.Insert(tup(i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r3 := v.Head()
+	if !ExtendsByAppend(empty, r3) {
+		t.Fatal("empty base must be extended by anything")
+	}
+	if !ExtendsByAppend(r3, r3) {
+		t.Fatal("a revision extends itself")
+	}
+
+	// Many appends force at least one backing-array reallocation; the
+	// storage-identity check must survive it.
+	for i := int64(3); i < 40; i++ {
+		if _, err := v.Insert(tup(i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r40 := v.Head()
+	if !ExtendsByAppend(r3, r40) {
+		t.Fatal("pure appends (with reallocation) not detected")
+	}
+	if ExtendsByAppend(r40, r3) {
+		t.Fatal("a shorter revision cannot extend a longer one")
+	}
+
+	// Deleting inside the old prefix breaks the extension.
+	if n := v.Delete(func(tp Tuple) bool { return tp[0].Equal(value.Int(1)) }); n != 1 {
+		t.Fatalf("delete removed %d", n)
+	}
+	afterDel := v.Head()
+	if ExtendsByAppend(r3, afterDel) {
+		t.Fatal("delete within the prefix reported as pure append")
+	}
+	// ... even after appends push the length past old's again.
+	if _, err := v.Insert(tup(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if ExtendsByAppend(r3, v.Head()) {
+		t.Fatal("delete+append reported as pure append")
+	}
+	// But the post-delete revision is itself a valid new base.
+	if !ExtendsByAppend(afterDel, v.Head()) {
+		t.Fatal("appends on the post-delete base not detected")
+	}
+
+	// Deleting only rows past the old prefix leaves old extended.
+	w := NewVersioned([]string{"A", "B"})
+	for i := int64(0); i < 3; i++ {
+		w.Insert(tup(i, i)) //nolint:errcheck
+	}
+	base := w.Head()
+	w.Insert(tup(50, 50)) //nolint:errcheck
+	w.Insert(tup(60, 60)) //nolint:errcheck
+	if n := w.Delete(func(tp Tuple) bool { return tp[0].Equal(value.Int(60)) }); n != 1 {
+		t.Fatal("tail delete failed")
+	}
+	if !ExtendsByAppend(base, w.Head()) {
+		t.Fatal("delete strictly past the prefix must keep the base extended")
+	}
+}
+
+func TestSuffix(t *testing.T) {
+	v := NewVersioned([]string{"A", "B"})
+	for i := int64(0); i < 5; i++ {
+		v.Insert(tup(i, i)) //nolint:errcheck
+	}
+	r := v.Head()
+	s := r.Suffix(3)
+	if s.Len() != 2 || !s.Tuples()[0].Equal(tup(3, 3)) || !s.Tuples()[1].Equal(tup(4, 4)) {
+		t.Fatalf("suffix rows wrong: %v", s.Tuples())
+	}
+	if len(s.Attrs) != 2 {
+		t.Fatal("suffix lost attributes")
+	}
+	if r.Suffix(5).Len() != 0 || r.Suffix(99).Len() != 0 || r.Suffix(-1).Len() != 5 {
+		t.Fatal("suffix bounds not clamped")
+	}
+}

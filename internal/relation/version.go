@@ -103,3 +103,45 @@ func (v *Versioned) Delete(pred func(Tuple) bool) int {
 // Contains reports set membership in the current revision without
 // touching the revision itself (the writer-owned set answers).
 func (v *Versioned) Contains(t Tuple) bool { return v.memb[t.key()] }
+
+// ExtendsByAppend reports whether nw's tuple storage extends old's by
+// pure appends — the successor-revision relationship Versioned.Insert
+// creates when revisions share a backing array. When true, nw's tuples
+// are exactly old's tuples followed by nw.Tuples()[old.Len():], so a
+// result materialized against old can be brought forward by evaluating
+// only the appended window.
+//
+// The check compares the storage identity of old's last tuple at the
+// same position in nw. Each tuple's value array is unique to it (Insert
+// clones), so position n-1 holding the same storage in both means that
+// tuple never moved — and since deletions only ever shift tuples left
+// while inserts only append, a tuple still at its original index
+// implies every tuple before it is intact too. Storage identity (not
+// slice-element address) survives the reallocation append performs when
+// the shared backing array's capacity is exhausted. An empty old is
+// extended by anything — every row of nw is appended.
+func ExtendsByAppend(old, nw *Relation) bool {
+	n := len(old.tuples)
+	if n > len(nw.tuples) {
+		return false
+	}
+	if n == 0 {
+		return true
+	}
+	a, b := old.tuples[n-1], nw.tuples[n-1]
+	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
+}
+
+// Suffix returns a relation over the same attributes holding the tuples
+// from position from on, sharing tuple storage with r. It is the
+// "appended window" counterpart of ExtendsByAppend: evaluating a plan
+// over nw.Suffix(old.Len()) touches only the rows old lacks.
+func (r *Relation) Suffix(from int) *Relation {
+	if from < 0 {
+		from = 0
+	}
+	if from > len(r.tuples) {
+		from = len(r.tuples)
+	}
+	return &Relation{Attrs: r.Attrs, tuples: r.tuples[from:], idx: newIndexCache()}
+}
