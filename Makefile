@@ -2,15 +2,24 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz fuzz-wire bench bench-index bench-serve bench-replica bench-mvcc bench-mask benchgo
+.PHONY: check build vet staticcheck test race chaos fuzz fuzz-wire bench bench-index bench-serve bench-replica bench-mvcc bench-mask bench-storage benchgo
 
-check: build vet race
+check: build vet staticcheck race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck when the binary is available; CI and dev machines without
+# it skip rather than fail (no module dependency is added).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -71,6 +80,13 @@ bench-mvcc:
 # GOMAXPROCS 1/4 (BENCH_mask.json, cmd/authdb/benchmask.go).
 bench-mask:
 	$(GO) run ./cmd/authdb bench-mask
+
+# Paged vs memory storage backend: insert, full and incremental
+# checkpoint, point reads, and reopen at 10x/100x scale; the 100x paged
+# cell runs with its resident set over the buffer-cache budget
+# (BENCH_storage.json, cmd/authdb/benchstorage.go).
+bench-storage:
+	$(GO) run ./cmd/authdb bench-storage
 
 # Go testing.B micro-benchmarks.
 benchgo:

@@ -125,6 +125,17 @@ type Options struct {
 	// Answers are byte-identical either way; steady-state retrieves skip
 	// both pipelines entirely.
 	MaskClosure bool
+	// Storage selects the durable backend for OpenDir: "memory"
+	// (whole-generation CSV snapshots, all state resident) or "paged"
+	// (slotted pages + B+Trees behind an LRU buffer cache, checkpoints
+	// flush only dirty pages). Empty defers to the AUTHDB_STORAGE
+	// environment variable, then "memory". Answers and the durability
+	// protocol are identical either way; a directory written by one
+	// backend is converted on open by the other.
+	Storage string
+	// CachePages bounds the paged backend's buffer cache in 4KiB pages
+	// (0 = the 4096-page default); ignored by the memory backend.
+	CachePages int
 }
 
 // DefaultOptions enables every refinement, the optimized executor,
@@ -209,7 +220,14 @@ func OpenDir(dir string, opts ...Options) (*DB, error) {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	eng, err := engine.OpenDurable(dir, o.internal())
+	cfg := engine.StorageConfigFromEnv()
+	if o.Storage != "" {
+		cfg.Backend = o.Storage
+	}
+	if o.CachePages > 0 {
+		cfg.CachePages = o.CachePages
+	}
+	eng, err := engine.OpenDurableStorage(dir, o.internal(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +242,11 @@ func (db *DB) Close() error { return db.eng.Close() }
 // Checkpoint folds the write-ahead log into a fresh snapshot, bounding
 // the next open's recovery time. Only durable databases checkpoint.
 func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// StorageBackend reports the durable storage backend serving this
+// database: "paged" when a page store is attached, else "memory"
+// (including purely in-memory databases).
+func (db *DB) StorageBackend() string { return db.eng.StorageBackend() }
 
 // Load restores a database saved with Save. With no Options argument it
 // uses DefaultOptions.

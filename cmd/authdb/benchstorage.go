@@ -1,0 +1,207 @@
+package main
+
+// The bench-storage subcommand: the paged backend against the memory
+// backend on one write/checkpoint/read/reopen cycle, at two scales. The
+// paged cell runs with a deliberately small buffer cache so the larger
+// scale's resident set exceeds the budget — the regime the backend
+// exists for: the engine keeps answering from its in-memory MVCC head
+// while the durable layer pages, and checkpoints flush only dirty pages
+// instead of rewriting every generation from scratch.
+//
+//	authdb bench-storage [-base 100] [-scales 10,100] [-cache-pages 256]
+//	                     [-reads 200] [-o BENCH_storage.json]
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"authdb/internal/core"
+	"authdb/internal/engine"
+)
+
+type storageCell struct {
+	Backend string `json:"backend"`
+	Rows    int    `json:"rows"`
+
+	InsertMS         float64 `json:"insert_ms"`
+	InsertsPerSec    float64 `json:"inserts_per_sec"`
+	CheckpointMS     float64 `json:"checkpoint_ms"`
+	IncrCheckpointMS float64 `json:"incremental_checkpoint_ms"`
+	ReadMS           float64 `json:"read_ms"`
+	ReadsPerSec      float64 `json:"reads_per_sec"`
+	ReopenMS         float64 `json:"reopen_ms"`
+
+	// Paged-only pager counters (zero on the memory backend).
+	CacheBudgetPages      int    `json:"cache_budget_pages,omitempty"`
+	PagesTotal            uint32 `json:"pages_total,omitempty"`
+	ResidentExceedsBudget bool   `json:"resident_exceeds_budget,omitempty"`
+	CacheHits             uint64 `json:"cache_hits,omitempty"`
+	CacheMisses           uint64 `json:"cache_misses,omitempty"`
+	CacheEvictions        uint64 `json:"cache_evictions,omitempty"`
+	CheckpointDirtyPages  int    `json:"checkpoint_dirty_pages,omitempty"`
+}
+
+type storageScale struct {
+	Scale int           `json:"scale"`
+	Cells []storageCell `json:"cells"`
+}
+
+type storageReport struct {
+	Generated  string         `json:"generated"`
+	NumCPU     int            `json:"num_cpu"`
+	BaseRows   int            `json:"base_rows"`
+	CachePages int            `json:"cache_pages"`
+	Scales     []storageScale `json:"scales"`
+}
+
+func runBenchStorage(args []string) int {
+	fs := flag.NewFlagSet("bench-storage", flag.ExitOnError)
+	base := fs.Int("base", 100, "rows at scale 1")
+	scalesList := fs.String("scales", "10,100", "comma-separated scale multipliers")
+	cachePages := fs.Int("cache-pages", 256, "paged backend's buffer-cache budget (4KiB pages)")
+	reads := fs.Int("reads", 200, "point retrieves in the read phase")
+	out := fs.String("o", "BENCH_storage.json", "output JSON file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var scales []int
+	for _, field := range strings.Split(*scalesList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad scale %q\n", field)
+			return 1
+		}
+		scales = append(scales, n)
+	}
+
+	report := storageReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		NumCPU:     runtime.NumCPU(),
+		BaseRows:   *base,
+		CachePages: *cachePages,
+	}
+	for _, scale := range scales {
+		sc := storageScale{Scale: scale}
+		for _, backend := range []string{engine.StorageMemory, engine.StoragePaged} {
+			cell, err := runStorageCell(backend, scale**base, *cachePages, *reads)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench-storage %s x%d: %v\n", backend, scale, err)
+				return 1
+			}
+			fmt.Printf("scale=%-4d %-6s insert %8.0f/s  checkpoint %7.1fms (incremental %6.1fms)  reopen %7.1fms",
+				scale, backend, cell.InsertsPerSec, cell.CheckpointMS, cell.IncrCheckpointMS, cell.ReopenMS)
+			if backend == engine.StoragePaged {
+				fmt.Printf("  pages=%d budget=%d evictions=%d", cell.PagesTotal, cell.CacheBudgetPages, cell.CacheEvictions)
+			}
+			fmt.Println()
+			sc.Cells = append(sc.Cells, cell)
+		}
+		report.Scales = append(report.Scales, sc)
+	}
+
+	blob, _ := json.MarshalIndent(report, "", "  ")
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println("wrote", *out)
+	return 0
+}
+
+// runStorageCell measures one backend at one scale: bulk insert,
+// checkpoint, an incremental checkpoint after a small delta, a point-
+// read mix, and a close/reopen cycle.
+func runStorageCell(backend string, rows, cachePages, reads int) (storageCell, error) {
+	cell := storageCell{Backend: backend, Rows: rows}
+	cfg := engine.StorageConfig{Backend: backend}
+	if backend == engine.StoragePaged {
+		cfg.CachePages = cachePages
+		cell.CacheBudgetPages = cachePages
+	}
+	dir, err := os.MkdirTemp("", "authdb-bench-storage-")
+	if err != nil {
+		return cell, err
+	}
+	defer os.RemoveAll(dir)
+
+	e, err := engine.OpenDurableStorage(dir, core.DefaultOptions(), cfg)
+	if err != nil {
+		return cell, err
+	}
+	defer e.Close()
+	admin := e.NewSession("admin", true)
+	if _, err := admin.Exec(`relation BIG (ID, DEPT, PAYLOAD) key (ID)`); err != nil {
+		return cell, err
+	}
+
+	pad := strings.Repeat("x", 120)
+	start := time.Now()
+	for i := 0; i < rows; i++ {
+		stmt := fmt.Sprintf(`insert into BIG values (k%07d, d%02d, "%s%07d")`, i, i%17, pad, i)
+		if _, err := admin.Exec(stmt); err != nil {
+			return cell, err
+		}
+	}
+	d := time.Since(start)
+	cell.InsertMS = float64(d.Microseconds()) / 1e3
+	cell.InsertsPerSec = float64(rows) / d.Seconds()
+
+	start = time.Now()
+	if err := e.Checkpoint(); err != nil {
+		return cell, err
+	}
+	cell.CheckpointMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	// A small delta, then another checkpoint: the paged backend flushes
+	// only the pages the delta dirtied; the memory backend rewrites the
+	// whole generation either way.
+	for i := 0; i < 10; i++ {
+		stmt := fmt.Sprintf(`insert into BIG values (x%07d, d%02d, "%s")`, i, i%17, pad)
+		if _, err := admin.Exec(stmt); err != nil {
+			return cell, err
+		}
+	}
+	start = time.Now()
+	if err := e.Checkpoint(); err != nil {
+		return cell, err
+	}
+	cell.IncrCheckpointMS = float64(time.Since(start).Microseconds()) / 1e3
+	cell.CheckpointDirtyPages = int(e.PageStats().DirtyFlush)
+
+	start = time.Now()
+	for i := 0; i < reads; i++ {
+		q := fmt.Sprintf(`retrieve (BIG.DEPT, BIG.PAYLOAD) where BIG.ID = k%07d`, (i*37)%rows)
+		if _, err := admin.Exec(q); err != nil {
+			return cell, err
+		}
+	}
+	d = time.Since(start)
+	cell.ReadMS = float64(d.Microseconds()) / 1e3
+	cell.ReadsPerSec = float64(reads) / d.Seconds()
+
+	st := e.PageStats()
+	cell.PagesTotal = st.Pages
+	cell.CacheHits = st.Hits
+	cell.CacheMisses = st.Misses
+	cell.CacheEvictions = st.Evictions
+	if backend == engine.StoragePaged {
+		cell.ResidentExceedsBudget = st.Pages > uint32(cachePages)
+	}
+	if err := e.Close(); err != nil {
+		return cell, err
+	}
+
+	start = time.Now()
+	back, err := engine.OpenDurableStorage(dir, core.DefaultOptions(), cfg)
+	if err != nil {
+		return cell, err
+	}
+	cell.ReopenMS = float64(time.Since(start).Microseconds()) / 1e3
+	return cell, back.Close()
+}

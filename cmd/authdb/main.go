@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	authdb [-user NAME] [-load FILE] [-db DIR] [-paper]
+//	authdb [-user NAME] [-load FILE] [-db DIR] [-storage memory|paged]
+//	       [-cache-pages N] [-paper]
 //
 // With -db, the directory is opened (or created) durably: every mutating
 // statement is journaled to a write-ahead log and a crash loses at most
@@ -15,12 +16,14 @@
 //
 // REPL meta-commands:
 //
-//	\user NAME    switch to user NAME (unprivileged)
-//	\admin        switch to the administrator
-//	\load FILE    execute a statement script (admin statements allowed)
-//	\save DIR     export the database (schema, data, views, permits)
-//	\stats        print the metrics registry (administrator only)
-//	\quit         exit
+//	\user NAME         switch to user NAME (unprivileged)
+//	\admin             switch to the administrator
+//	\load FILE         execute a statement script (admin statements allowed)
+//	\save DIR          export the database (schema, data, views, permits)
+//	\stats             print the metrics registry (administrator only)
+//	\begin snapshot    pin reads to the current version until \end
+//	\end               close the snapshot block (reads follow the head again)
+//	\quit              exit
 //
 // Subcommands: `authdb serve` runs the database as a network server
 // (see cmd/authdb/serve.go and DESIGN.md §11); `authdb promote` flips a
@@ -57,6 +60,8 @@ func main() {
 			os.Exit(runBenchMVCC(os.Args[2:]))
 		case "bench-mask":
 			os.Exit(runBenchMask(os.Args[2:]))
+		case "bench-storage":
+			os.Exit(runBenchStorage(os.Args[2:]))
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
 		case "promote":
@@ -70,18 +75,23 @@ func run() int {
 	user := flag.String("user", "", "open the session as this (unprivileged) user; empty means administrator")
 	load := flag.String("load", "", "execute this statement script before the prompt")
 	dbdir := flag.String("db", "", "open (or create) a durable database directory")
+	storage := flag.String("storage", "", "durable storage backend: memory (CSV snapshots) or paged (B+Trees, incremental checkpoints); empty: AUTHDB_STORAGE, then the directory's existing format")
+	cachePages := flag.Int("cache-pages", 0, "paged backend's buffer-cache budget in 4KiB pages (0: 4096)")
 	paper := flag.Bool("paper", false, "preload the paper's Figure 1 example database")
 	flag.Parse()
 
 	var db *authdb.DB
 	if *dbdir != "" {
+		opt := authdb.DefaultOptions()
+		opt.Storage = *storage
+		opt.CachePages = *cachePages
 		var err error
-		db, err = authdb.OpenDir(*dbdir)
+		db, err = authdb.OpenDir(*dbdir, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "opening %s: %v\n", *dbdir, err)
 			return 1
 		}
-		fmt.Printf("opened %s (durable)\n", *dbdir)
+		fmt.Printf("opened %s (durable, %s storage)\n", *dbdir, db.StorageBackend())
 	} else {
 		db = authdb.Open()
 	}
@@ -122,9 +132,11 @@ func run() int {
 			switch {
 			case trimmed == `\quit` || trimmed == `\q`:
 				return 0
-			case trimmed == `\stats`:
-				// Session.Dispatch owns \stats, exactly as the network
-				// server does — the output is identical in both.
+			case trimmed == `\stats`, trimmed == `\begin snapshot`,
+				trimmed == `\begin`, trimmed == `\end`:
+				// Session.Dispatch owns \stats and the snapshot-block
+				// commands, exactly as the network server does — the
+				// behavior is identical in both front ends.
 				exec(session, trimmed)
 			case trimmed == `\admin`:
 				session, who = admin, "admin"
@@ -150,7 +162,7 @@ func run() int {
 					fmt.Println("saved to", dir)
 				}
 			default:
-				fmt.Println(`meta-commands: \user NAME, \admin, \load FILE, \save DIR, \stats, \quit`)
+				fmt.Println(`meta-commands: \user NAME, \admin, \load FILE, \save DIR, \stats, \begin snapshot, \end, \quit`)
 			}
 			pending.Reset()
 			prompt()

@@ -59,11 +59,12 @@ type Closure struct {
 	// order lists live keys oldest-first for FIFO eviction.
 	order []string
 
-	hits        uint64 // lookups served from the closure (incl. refreshes)
-	misses      uint64 // lookups that fell through to full computation
-	refreshes   uint64 // hits that first replayed an appended window
-	invalidDef  uint64 // entries dropped because a definition generation moved
-	invalidData uint64 // lookups that missed because revisions moved irreparably
+	hits          uint64 // lookups served from the closure (incl. refreshes)
+	misses        uint64 // lookups that fell through to full computation
+	refreshes     uint64 // hits that first replayed an appended window
+	invalidDef    uint64 // entries dropped because a definition generation moved
+	invalidData   uint64 // lookups that missed because revisions moved irreparably
+	invalidDelete uint64 // entries dropped eagerly by InvalidateRelation
 }
 
 // closureEntry is one resident materialization. The plan side (plan,
@@ -77,6 +78,9 @@ type closureEntry struct {
 	plan    *MaskPlan
 	psjExec *algebra.PSJ
 	fused   bool
+	// rels names the scanned base relations, in scan order —
+	// InvalidateRelation's match set.
+	rels []string
 	// revs pins the scanned relation revisions the result was built
 	// against, in scan order.
 	revs []*relation.Relation
@@ -130,15 +134,19 @@ type ClosureStats struct {
 	Refreshes uint64
 	// InvalidDef counts entries dropped because a view or permission
 	// generation moved; InvalidData counts lookups whose revisions had
-	// moved beyond repair (also counted in Misses).
-	InvalidDef, InvalidData uint64
+	// moved beyond repair (also counted in Misses); InvalidDelete counts
+	// entries dropped eagerly because a scanned relation was deleted
+	// from (InvalidateRelation).
+	InvalidDef, InvalidData, InvalidDelete uint64
 	// Entries is the current resident entry count; ResidentRows the
 	// total set bits across all row bitmaps.
 	Entries, ResidentRows int
 }
 
 // Invalidations returns the combined invalidation count.
-func (s ClosureStats) Invalidations() uint64 { return s.InvalidDef + s.InvalidData }
+func (s ClosureStats) Invalidations() uint64 {
+	return s.InvalidDef + s.InvalidData + s.InvalidDelete
+}
 
 // Stats reports the closure's counters. Safe on a nil closure.
 func (c *Closure) Stats() ClosureStats {
@@ -150,7 +158,8 @@ func (c *Closure) Stats() ClosureStats {
 	s := ClosureStats{
 		Hits: c.hits, Misses: c.misses, Refreshes: c.refreshes,
 		InvalidDef: c.invalidDef, InvalidData: c.invalidData,
-		Entries: len(c.entries),
+		InvalidDelete: c.invalidDelete,
+		Entries:       len(c.entries),
 	}
 	for _, e := range c.entries {
 		for _, b := range e.bits {
@@ -328,12 +337,17 @@ func (c *Closure) Store(st *Store, user string, psj *algebra.PSJ, opt Options, r
 	if c == nil || mp == nil || d == nil {
 		return
 	}
+	rels := make([]string, len(psj.Scans))
+	for i, sc := range psj.Scans {
+		rels[i] = sc.Rel
+	}
 	e := &closureEntry{
 		viewGen: st.ViewGen(),
 		permGen: st.PermGen(user),
 		plan:    mp,
 		psjExec: psjExec,
 		fused:   d.PushdownApplied,
+		rels:    rels,
 		revs:    append([]*relation.Relation(nil), revs...),
 		res:     &closureResult{answer: d.Answer, masked: d.Masked, stats: d.Stats},
 		stats:   d.Stats,
@@ -363,6 +377,29 @@ func (c *Closure) Store(st *Store, user string, psj *algebra.PSJ, opt Options, r
 	}
 	c.entries[key] = e
 	c.order = append(c.order, key)
+}
+
+// InvalidateRelation eagerly drops every entry whose masked relations
+// include rel. Deletes cannot be repaired by the append-window refresh
+// (the accumulators only grow), so the engine calls this after a delete
+// commits: entries over other relations stay resident, and the doomed
+// ones release their materialized rows immediately instead of lingering
+// until their next lookup misses. Safe on a nil closure.
+func (c *Closure) InvalidateRelation(rel string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		for _, r := range e.rels {
+			if r == rel {
+				c.removeLocked(key)
+				c.invalidDelete++
+				break
+			}
+		}
+	}
 }
 
 // removeLocked deletes key from the map and the FIFO order; callers

@@ -60,8 +60,8 @@ func TestClosureServesAndInvalidates(t *testing.T) {
 		t.Fatalf("inserted row missing from refreshed answer:\n%s", renderResult(res))
 	}
 
-	// Delete: unrepairable on the data side; the recompute must not
-	// serve the deleted row.
+	// Delete: unrepairable, so the entry over PROJECT is dropped eagerly
+	// at delete time (InvalidateRelation) and the next read recomputes.
 	if _, err := admin.Exec(`delete from PROJECT where PROJECT.NUMBER = zz-99`); err != nil {
 		t.Fatal(err)
 	}
@@ -70,8 +70,8 @@ func TestClosureServesAndInvalidates(t *testing.T) {
 		t.Fatal(err)
 	}
 	s3 := e.MaskClosureStats()
-	if s3.InvalidData != s2.InvalidData+1 {
-		t.Fatalf("delete should invalidate the data side: %+v -> %+v", s2, s3)
+	if s3.InvalidDelete != s2.InvalidDelete+1 {
+		t.Fatalf("delete should drop the entry eagerly: %+v -> %+v", s2, s3)
 	}
 	if strings.Contains(renderResult(res), "zz-99") {
 		t.Fatal("deleted row still delivered")
@@ -227,7 +227,7 @@ func TestClosureConcurrentPinnedReaders(t *testing.T) {
 	wg.Wait()
 
 	st := e.MaskClosureStats()
-	if st.Hits == 0 || st.Refreshes == 0 || st.InvalidDef == 0 || st.InvalidData == 0 {
+	if st.Hits == 0 || st.Refreshes == 0 || st.InvalidDef == 0 || st.InvalidDelete == 0 {
 		t.Fatalf("concurrency run did not exercise all closure paths: %+v", st)
 	}
 }

@@ -121,8 +121,13 @@ func (e *Engine) publishCommits(batch []Commit) {
 }
 
 // LSN returns the engine's current log sequence number: the count of
-// mutating statements applied over its entire history.
-func (e *Engine) LSN() uint64 { return e.lsn.Load() }
+// mutating statements applied over its entire history. It reads the
+// published head version rather than the internal counter, so the value
+// is always consistent with what ReplSnapshot and retrieves observe — a
+// commit becomes visible here only once its version is published, not
+// while its WAL record is still being written inside the critical
+// section.
+func (e *Engine) LSN() uint64 { return e.headVersion().lsn }
 
 // DurableLSN returns the highest LSN whose WAL record (or snapshot) has
 // reached stable storage; it trails LSN by the commits in flight.
@@ -168,6 +173,15 @@ func (e *Engine) brokenNow() error {
 // released. Callers hold e.mu for writing and have already applied the
 // mutation.
 func (s *Session) logStmt(p parser.Stmt) error {
+	// Mirror the mutation into the page store first (same critical
+	// section, same order as the log). A write-through failure is
+	// fail-stop like a WAL failure: the store may have half-applied the
+	// statement, and marking the engine broken keeps every
+	// durCheck-guarded checkpoint from ever committing the drift.
+	if err := s.eng.pageApply(p); err != nil {
+		s.eng.setBroken(err)
+		return fmt.Errorf("paged storage write-through: %w", err)
+	}
 	w, err := s.eng.stageStmt(p)
 	if err != nil {
 		return err

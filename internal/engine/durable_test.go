@@ -123,16 +123,30 @@ func TestDurableCloseFailsStop(t *testing.T) {
 // recovers a consistent prefix of the statement history, never a torn or
 // fabricated state.
 func TestCrashRecoverySweep(t *testing.T) {
-	crashSweep(t, false)
+	crashSweep(t, false, StorageConfig{})
 }
 
 // TestCrashRecoverySweepShortWrites repeats the sweep with the tripping
 // write persisting half its payload, modelling torn sector writes.
 func TestCrashRecoverySweepShortWrites(t *testing.T) {
-	crashSweep(t, true)
+	crashSweep(t, true, StorageConfig{})
 }
 
-func crashSweep(t *testing.T, short bool) {
+// TestCrashRecoverySweepPaged runs the sweep on the paged backend with a
+// tiny buffer cache, so the kill points land mid-page-flush and
+// mid-checkpoint (the ROOT/CURRENT dance) as well as in the WAL.
+func TestCrashRecoverySweepPaged(t *testing.T) {
+	crashSweep(t, false, StorageConfig{Backend: StoragePaged, CachePages: 8})
+}
+
+// TestCrashRecoverySweepPagedShortWrites adds torn page writes: the
+// tripping WriteAt persists half a page, which recovery must reject via
+// the page CRC (shadow paging keeps the committed tree clean).
+func TestCrashRecoverySweepPagedShortWrites(t *testing.T) {
+	crashSweep(t, true, StorageConfig{Backend: StoragePaged, CachePages: 8})
+}
+
+func crashSweep(t *testing.T, short bool, cfg StorageConfig) {
 	refs := referenceStates(t)
 	// isPrefixState returns the latest history index whose state matches
 	// fp (statements like insert-then-delete can revisit an earlier
@@ -156,7 +170,7 @@ func crashSweep(t *testing.T, short bool) {
 		fs.Arm(k)
 
 		// Run until the injected crash (or to completion).
-		e, err := OpenDurableFS(fs, dir, core.DefaultOptions())
+		e, err := OpenDurableStorageFS(fs, dir, core.DefaultOptions(), cfg)
 		applied := -1 // statements confirmed applied before the crash
 		if err == nil {
 			applied = 0
@@ -178,7 +192,7 @@ func crashSweep(t *testing.T, short bool) {
 
 		// "Reboot": recovery over the real filesystem must always
 		// succeed and land on a prefix of the history.
-		re, err := OpenDurable(dir, core.DefaultOptions())
+		re, err := OpenDurableStorage(dir, core.DefaultOptions(), cfg)
 		if err != nil {
 			t.Fatalf("k=%d: recovery failed: %v", k, err)
 		}

@@ -29,6 +29,7 @@ import (
 	"authdb/internal/metrics"
 	"authdb/internal/parser"
 	"authdb/internal/relation"
+	"authdb/internal/storage"
 	"authdb/internal/value"
 	"authdb/internal/wal"
 )
@@ -75,6 +76,13 @@ type Engine struct {
 	// dur is the crash-safe persistence attachment (nil for in-memory
 	// engines); see durable.go.
 	dur *durable
+	// pstore is the paged storage backend (nil on the memory backend):
+	// B+Trees over a buffer-cached page file, mirrored write-through by
+	// every mutating statement and flushed incrementally at checkpoints.
+	// Attached at open, constant afterwards; its internal state is
+	// guarded by e.mu on the write side. See paged.go and DESIGN.md §16.
+	pstore     *storage.Store
+	storageCfg StorageConfig
 	// dirLock holds the exclusive flock on the durable directory so a
 	// second live engine cannot rotate generations underneath this one;
 	// see dirlock.go. Released in Close.
@@ -259,6 +267,11 @@ type Session struct {
 	// executed, set by logStmt and consumed by ExecStmtContext after the
 	// engine lock is released.
 	pendingWait func() error
+	// pinned is the snapshot a `\begin snapshot` session reads across
+	// statements (nil = every statement pins the current head). The
+	// session's own successful mutations re-pin to the new head so a
+	// snapshot session always reads its writes.
+	pinned *dbVersion
 }
 
 // NewSession opens a session for user; admin sessions may define schema,
@@ -368,6 +381,12 @@ func (s *Session) ExecStmtContext(ctx context.Context, p parser.Stmt) (res *Resu
 				res, err = nil, cerr
 			}
 		}
+	}
+	// A snapshot session reads its own writes: a successful mutation
+	// re-pins to the head the statement published (or a later one — the
+	// write is included either way).
+	if err == nil && s.pinned != nil && Mutating(p) {
+		s.pinned = s.eng.headVersion()
 	}
 	return res, err
 }
@@ -549,7 +568,7 @@ func (s *Session) Retrieve(def *cview.Def) (*Result, error) {
 func (s *Session) RetrieveContext(ctx context.Context, def *cview.Def) (*Result, error) {
 	g := guard.New(ctx, s.limits)
 	defer g.Close()
-	v := s.eng.headVersion()
+	v := s.readVersion()
 	if s.admin {
 		an, err := cview.Analyze(def, v.sch)
 		if err != nil {
@@ -604,7 +623,7 @@ func (e *Engine) Certify(quality, query string) (*core.Certification, error) {
 func (s *Session) explain(ctx context.Context, def *cview.Def) (*Result, error) {
 	g := guard.New(ctx, s.limits)
 	defer g.Close()
-	v := s.eng.headVersion()
+	v := s.readVersion()
 	opt := s.eng.opt
 	opt.CollectIntermediates = true
 	auth := core.NewAuthorizer(v.store, v.source, opt)
@@ -729,6 +748,11 @@ func (s *Session) delete(p parser.Delete) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Deletes cannot be repaired by the closure's append-window
+		// refresh; eagerly drop exactly the entries whose masked
+		// relations include this relation instead of letting every
+		// entry's data stamp go stale.
+		s.eng.closures.Load().InvalidateRelation(p.Rel)
 	}
 	return &Result{Text: fmt.Sprintf("deleted %d tuple(s) from %s", n, p.Rel)}, nil
 }
@@ -871,7 +895,7 @@ func (s *Session) cmpsHold(v *core.StoredView, binding map[string]value.Value) b
 }
 
 func (s *Session) show(p parser.Show) (*Result, error) {
-	v := s.eng.headVersion()
+	v := s.readVersion()
 	var b strings.Builder
 	switch p.What {
 	case "relations":

@@ -96,6 +96,32 @@ func (e *Engine) registerMetrics() {
 		seq, _ := e.DBVersion()
 		return float64(seq)
 	})
+	// Paged-backend buffer cache and incremental-checkpoint series; all
+	// zero on the memory backend.
+	e.met.CounterFunc("authdb_page_cache_hits_total", func() float64 {
+		return float64(e.PageStats().Hits)
+	})
+	e.met.CounterFunc("authdb_page_cache_misses_total", func() float64 {
+		return float64(e.PageStats().Misses)
+	})
+	e.met.CounterFunc("authdb_page_cache_evictions_total", func() float64 {
+		return float64(e.PageStats().Evictions)
+	})
+	e.met.CounterFunc("authdb_page_reads_total", func() float64 {
+		return float64(e.PageStats().PageReads)
+	})
+	e.met.CounterFunc("authdb_page_writes_total", func() float64 {
+		return float64(e.PageStats().PageWrites)
+	})
+	e.met.GaugeFunc("authdb_page_cache_pages", func() float64 {
+		return float64(e.PageStats().Cached)
+	})
+	e.met.GaugeFunc("authdb_pages_total", func() float64 {
+		return float64(e.PageStats().Pages)
+	})
+	e.met.GaugeFunc("authdb_checkpoint_dirty_pages", func() float64 {
+		return float64(e.PageStats().DirtyFlush)
+	})
 }
 
 // stmtKind names a statement for the per-kind request counters.
@@ -152,9 +178,9 @@ func (e *Engine) observeExec(kind string, d time.Duration, res *Result, err erro
 }
 
 // Dispatch executes one line of input: a shared meta-command (`\stats`,
-// administrator only) or a statement. The REPL and the network server
-// both route user input through Dispatch so every front end exposes the
-// same surface.
+// administrator only; `\begin snapshot` / `\end`, any session) or a
+// statement. The REPL and the network server both route user input
+// through Dispatch so every front end exposes the same surface.
 func (s *Session) Dispatch(ctx context.Context, input string) (*Result, error) {
 	trimmed := strings.TrimSpace(input)
 	if strings.HasPrefix(trimmed, `\`) {
@@ -164,8 +190,20 @@ func (s *Session) Dispatch(ctx context.Context, input string) (*Result, error) {
 				return nil, err
 			}
 			return &Result{Text: strings.TrimRight(s.eng.met.Text(), "\n")}, nil
+		case `\begin snapshot`, `\begin`:
+			if s.pinned != nil {
+				return nil, fmt.Errorf(`snapshot block already open (\end to close)`)
+			}
+			s.pinned = s.eng.headVersion()
+			return &Result{Text: fmt.Sprintf("snapshot pinned at lsn %d", s.pinned.lsn)}, nil
+		case `\end`:
+			if s.pinned == nil {
+				return nil, fmt.Errorf(`no snapshot block open (\begin snapshot to open one)`)
+			}
+			s.pinned = nil
+			return &Result{Text: "snapshot released"}, nil
 		default:
-			return nil, fmt.Errorf(`unknown command %s (statements or \stats)`, trimmed)
+			return nil, fmt.Errorf(`unknown command %s (statements, \stats, \begin snapshot, \end)`, trimmed)
 		}
 	}
 	return s.ExecContext(ctx, input)

@@ -116,6 +116,11 @@ func (e *Engine) ResetFromSnapshot(files map[string][]byte, lsn uint64) error {
 	}
 	e.lsn.Store(lsn)
 	e.publishLocked()
+	if e.pstore != nil {
+		// The page store mirrors state that was just replaced wholesale;
+		// the checkpoint below rebuilds it from the adopted head.
+		e.pstore.MarkRebuild()
+	}
 	if e.dur != nil {
 		if err := e.checkpointLocked(e.dur.fs, e.dur.dir, e.dur.gen); err != nil {
 			return fmt.Errorf("persisting replication snapshot: %w", err)
@@ -145,6 +150,10 @@ func (m mapFS) Open(name string) (faultfs.File, error) {
 
 func (m mapFS) Create(name string) (faultfs.File, error) {
 	return nil, &os.PathError{Op: "create", Path: name, Err: os.ErrInvalid}
+}
+
+func (m mapFS) OpenFile(name string) (faultfs.RandomFile, error) {
+	return nil, &os.PathError{Op: "openfile", Path: name, Err: os.ErrInvalid}
 }
 
 func (m mapFS) MkdirAll(path string, perm os.FileMode) error { return os.ErrInvalid }

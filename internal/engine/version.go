@@ -49,6 +49,16 @@ func (v *dbVersion) source(name string) (*relation.Relation, error) {
 // pointer; concurrent commits publish successors without disturbing it.
 func (e *Engine) headVersion() *dbVersion { return e.head.Load() }
 
+// readVersion is the version a read statement evaluates against: the
+// session's pinned snapshot when a `\begin snapshot` block is open,
+// else the current head.
+func (s *Session) readVersion() *dbVersion {
+	if s.pinned != nil {
+		return s.pinned
+	}
+	return s.eng.headVersion()
+}
+
 // publishLocked builds the next version from the writer state and swaps
 // it into the head pointer — the commit point for readers. Callers hold
 // e.mu for writing (or have exclusive access during construction). The

@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageSize is the fixed on-disk page size. 4KiB matches the common
+// filesystem block size; a torn write can still split a page, which the
+// per-page CRC detects (and shadow paging makes harmless: committed
+// roots never reference in-flight pages).
+const PageSize = 4096
+
+// Page types.
+const (
+	pageLeaf     = 1
+	pageInterior = 2
+	pageOverflow = 3
+)
+
+// Page header layout (16 bytes):
+//
+//	[0]     type
+//	[1]     flags (unused)
+//	[2:4]   nCells (leaf/interior) or data length (overflow), uint16
+//	[4:8]   right: interior rightmost child / overflow next page, uint32
+//	[8:12]  CRC32 (IEEE) of the page with this field zeroed
+//	[12:14] cell content start offset, uint16
+//	[14:16] reserved
+//
+// A slot array of uint16 cell offsets follows at byte 16; cell bodies
+// are packed from the page tail downward.
+const (
+	pageHdrSize  = 16
+	offType      = 0
+	offNCells    = 2
+	offRight     = 4
+	offCRC       = 8
+	offCellStart = 12
+)
+
+// Inline size caps. Keys or values longer than these spill to overflow
+// chains, which guarantees a leaf/interior page always fits at least
+// two cells and a split always has a non-empty left and right half.
+const (
+	maxInlineKey = (PageSize - pageHdrSize) / 8
+	maxInlineVal = (PageSize - pageHdrSize) / 4
+)
+
+// cell is one decoded slot. For inline keys/values the byte slices are
+// set; for spilled ones the ovf page number and total length are set
+// instead. child is the subtree pointer on interior pages.
+type cell struct {
+	key    []byte
+	keyOvf uint32
+	keyLen uint32
+	val    []byte
+	valOvf uint32
+	valLen uint32
+	child  uint32
+}
+
+// node is a fully decoded page. Leaf and interior nodes carry cells;
+// overflow nodes carry a data fragment and a next pointer. Decoding
+// wholesale keeps the B+Tree logic free of byte offsets at the cost of
+// one encode per dirty page at flush time.
+type node struct {
+	typ   byte
+	cells []cell
+	right uint32 // interior: rightmost child; overflow: next page
+	data  []byte // overflow fragment
+}
+
+// cellWireSize returns the encoded size of c within typ's page.
+func cellWireSize(typ byte, c *cell) int {
+	n := 1 // flags
+	if c.keyOvf != 0 {
+		n += uvarintLen(uint64(c.keyLen)) + 4
+	} else {
+		n += uvarintLen(uint64(len(c.key))) + len(c.key)
+	}
+	if typ == pageLeaf {
+		if c.valOvf != 0 {
+			n += uvarintLen(uint64(c.valLen)) + 4
+		} else {
+			n += uvarintLen(uint64(len(c.val))) + len(c.val)
+		}
+	} else {
+		n += 4 // child
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// nodeSize returns the encoded byte size of n (header + slots + cells).
+func nodeSize(n *node) int {
+	if n.typ == pageOverflow {
+		return pageHdrSize + len(n.data)
+	}
+	sz := pageHdrSize + 2*len(n.cells)
+	for i := range n.cells {
+		sz += cellWireSize(n.typ, &n.cells[i])
+	}
+	return sz
+}
+
+// encodePage renders n into a fresh PageSize buffer.
+func encodePage(n *node) ([]byte, error) {
+	buf := make([]byte, PageSize)
+	buf[offType] = n.typ
+	if n.typ == pageOverflow {
+		if len(n.data) > PageSize-pageHdrSize {
+			return nil, fmt.Errorf("storage: overflow fragment %d bytes exceeds page", len(n.data))
+		}
+		binary.LittleEndian.PutUint16(buf[offNCells:], uint16(len(n.data)))
+		binary.LittleEndian.PutUint32(buf[offRight:], n.right)
+		copy(buf[pageHdrSize:], n.data)
+		stampCRC(buf)
+		return buf, nil
+	}
+	if len(n.cells) > (PageSize-pageHdrSize)/2 {
+		return nil, fmt.Errorf("storage: %d cells exceed page capacity", len(n.cells))
+	}
+	binary.LittleEndian.PutUint16(buf[offNCells:], uint16(len(n.cells)))
+	binary.LittleEndian.PutUint32(buf[offRight:], n.right)
+	top := PageSize
+	slot := pageHdrSize
+	for i := range n.cells {
+		c := &n.cells[i]
+		sz := cellWireSize(n.typ, c)
+		top -= sz
+		if top < slot+2*len(n.cells)-2*i {
+			return nil, fmt.Errorf("storage: page overflow encoding cell %d", i)
+		}
+		binary.LittleEndian.PutUint16(buf[slot:], uint16(top))
+		slot += 2
+		p := top
+		var flags byte
+		if c.keyOvf != 0 {
+			flags |= 1
+		}
+		if c.valOvf != 0 {
+			flags |= 2
+		}
+		buf[p] = flags
+		p++
+		if c.keyOvf != 0 {
+			p += binary.PutUvarint(buf[p:], uint64(c.keyLen))
+			binary.LittleEndian.PutUint32(buf[p:], c.keyOvf)
+			p += 4
+		} else {
+			p += binary.PutUvarint(buf[p:], uint64(len(c.key)))
+			p += copy(buf[p:], c.key)
+		}
+		if n.typ == pageLeaf {
+			if c.valOvf != 0 {
+				p += binary.PutUvarint(buf[p:], uint64(c.valLen))
+				binary.LittleEndian.PutUint32(buf[p:], c.valOvf)
+				p += 4
+			} else {
+				p += binary.PutUvarint(buf[p:], uint64(len(c.val)))
+				p += copy(buf[p:], c.val)
+			}
+		} else {
+			binary.LittleEndian.PutUint32(buf[p:], c.child)
+			p += 4
+		}
+	}
+	binary.LittleEndian.PutUint16(buf[offCellStart:], uint16(top))
+	stampCRC(buf)
+	return buf, nil
+}
+
+func stampCRC(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[offCRC:], 0)
+	crc := crc32.ChecksumIEEE(buf)
+	binary.LittleEndian.PutUint32(buf[offCRC:], crc)
+}
+
+// decodePage parses a PageSize buffer into a node, verifying the CRC.
+func decodePage(buf []byte) (*node, error) {
+	if len(buf) != PageSize {
+		return nil, fmt.Errorf("storage: page is %d bytes, want %d", len(buf), PageSize)
+	}
+	stored := binary.LittleEndian.Uint32(buf[offCRC:])
+	cp := make([]byte, PageSize)
+	copy(cp, buf)
+	binary.LittleEndian.PutUint32(cp[offCRC:], 0)
+	if got := crc32.ChecksumIEEE(cp); got != stored {
+		return nil, fmt.Errorf("storage: page CRC mismatch (got %08x want %08x)", got, stored)
+	}
+	n := &node{typ: buf[offType], right: binary.LittleEndian.Uint32(buf[offRight:])}
+	count := int(binary.LittleEndian.Uint16(buf[offNCells:]))
+	switch n.typ {
+	case pageOverflow:
+		if count > PageSize-pageHdrSize {
+			return nil, fmt.Errorf("storage: overflow length %d exceeds page", count)
+		}
+		n.data = append([]byte(nil), buf[pageHdrSize:pageHdrSize+count]...)
+		return n, nil
+	case pageLeaf, pageInterior:
+	default:
+		return nil, fmt.Errorf("storage: bad page type %d", n.typ)
+	}
+	if count > (PageSize-pageHdrSize)/2 {
+		return nil, fmt.Errorf("storage: cell count %d exceeds page capacity", count)
+	}
+	n.cells = make([]cell, count)
+	for i := 0; i < count; i++ {
+		off := int(binary.LittleEndian.Uint16(buf[pageHdrSize+2*i:]))
+		if off < pageHdrSize+2*count || off >= PageSize {
+			return nil, fmt.Errorf("storage: cell %d offset %d out of range", i, off)
+		}
+		c := &n.cells[i]
+		p := buf[off:]
+		if len(p) < 1 {
+			return nil, fmt.Errorf("storage: cell %d truncated", i)
+		}
+		flags := p[0]
+		p = p[1:]
+		klen, m := binary.Uvarint(p)
+		if m <= 0 {
+			return nil, fmt.Errorf("storage: cell %d bad key length", i)
+		}
+		p = p[m:]
+		if flags&1 != 0 {
+			if len(p) < 4 {
+				return nil, fmt.Errorf("storage: cell %d truncated key overflow", i)
+			}
+			c.keyLen = uint32(klen)
+			c.keyOvf = binary.LittleEndian.Uint32(p)
+			p = p[4:]
+		} else {
+			if uint64(len(p)) < klen || klen > PageSize {
+				return nil, fmt.Errorf("storage: cell %d key length %d out of range", i, klen)
+			}
+			c.key = append([]byte(nil), p[:klen]...)
+			p = p[klen:]
+		}
+		if n.typ == pageLeaf {
+			vlen, m := binary.Uvarint(p)
+			if m <= 0 {
+				return nil, fmt.Errorf("storage: cell %d bad value length", i)
+			}
+			p = p[m:]
+			if flags&2 != 0 {
+				if len(p) < 4 {
+					return nil, fmt.Errorf("storage: cell %d truncated value overflow", i)
+				}
+				c.valLen = uint32(vlen)
+				c.valOvf = binary.LittleEndian.Uint32(p)
+			} else {
+				if uint64(len(p)) < vlen || vlen > PageSize {
+					return nil, fmt.Errorf("storage: cell %d value length %d out of range", i, vlen)
+				}
+				c.val = append([]byte(nil), p[:vlen]...)
+			}
+		} else {
+			if len(p) < 4 {
+				return nil, fmt.Errorf("storage: cell %d truncated child", i)
+			}
+			c.child = binary.LittleEndian.Uint32(p)
+		}
+	}
+	return n, nil
+}

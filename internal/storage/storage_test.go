@@ -1,0 +1,353 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"authdb/internal/faultfs"
+	"authdb/internal/value"
+)
+
+func TestValueCodecRoundTripAndOrder(t *testing.T) {
+	vals := []value.Value{
+		value.Null(),
+		value.Int(-1 << 62), value.Int(-1), value.Int(0), value.Int(1), value.Int(1 << 62),
+		value.String(""), value.String("a"), value.String("a\x00b"), value.String("a\x00\xffb"),
+		value.String("ab"), value.String("b"), value.String("ü"),
+	}
+	var prev []byte
+	for i, v := range vals {
+		enc := encValue(nil, v)
+		got, rest, err := decValue(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decValue(%v): %v (rest %d)", v, err, len(rest))
+		}
+		if got.Compare(v) != 0 {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+		if i > 0 && vals[i-1].Compare(v) < 0 && bytes.Compare(prev, enc) >= 0 {
+			t.Fatalf("encoding not order-preserving at %v < %v", vals[i-1], v)
+		}
+		prev = enc
+	}
+	tup := []value.Value{value.Int(7), value.String("x\x00y"), value.Null()}
+	dec, err := decTuple(encTuple(tup), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tup {
+		if dec[i].Compare(tup[i]) != 0 {
+			t.Fatalf("tuple round trip: %v -> %v", tup, dec)
+		}
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	nodes := []*node{
+		{typ: pageLeaf},
+		{typ: pageLeaf, cells: []cell{{key: []byte("k"), val: []byte("v")}, {key: []byte("k2")}}},
+		{typ: pageLeaf, cells: []cell{{keyOvf: 9, keyLen: 5000, valOvf: 12, valLen: 9000}}},
+		{typ: pageInterior, right: 44, cells: []cell{{key: []byte("m"), child: 7}, {keyOvf: 3, keyLen: 600, child: 8}}},
+		{typ: pageOverflow, right: 5, data: bytes.Repeat([]byte{0xAB}, ovfChunk)},
+	}
+	for i, n := range nodes {
+		buf, err := encodePage(n)
+		if err != nil {
+			t.Fatalf("node %d: encode: %v", i, err)
+		}
+		got, err := decodePage(buf)
+		if err != nil {
+			t.Fatalf("node %d: decode: %v", i, err)
+		}
+		if got.typ != n.typ || got.right != n.right || len(got.cells) != len(n.cells) || !bytes.Equal(got.data, n.data) {
+			t.Fatalf("node %d: round trip mismatch", i)
+		}
+		for j := range n.cells {
+			a, b := n.cells[j], got.cells[j]
+			if !bytes.Equal(a.key, b.key) || a.keyOvf != b.keyOvf || a.keyLen != b.keyLen ||
+				!bytes.Equal(a.val, b.val) || a.valOvf != b.valOvf || a.valLen != b.valLen || a.child != b.child {
+				t.Fatalf("node %d cell %d mismatch: %+v vs %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestPageDecodeRejectsCorruption(t *testing.T) {
+	buf, err := encodePage(&node{typ: pageLeaf, cells: []cell{{key: []byte("abc"), val: []byte("def")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn write: only half the page made it to disk.
+	torn := make([]byte, PageSize)
+	copy(torn, buf[:PageSize/2])
+	if _, err := decodePage(torn); err == nil {
+		t.Fatal("decodePage accepted a torn page")
+	}
+	// A single flipped bit anywhere must fail the CRC.
+	flip := append([]byte(nil), buf...)
+	flip[PageSize-1] ^= 0x40
+	if _, err := decodePage(flip); err == nil {
+		t.Fatal("decodePage accepted a bit flip")
+	}
+}
+
+func newTestStore(t *testing.T, cachePages int) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), PagesFileName)
+	s, err := Create(faultfs.OS(), path, cachePages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+// checkpoint simulates the engine's checkpoint: flush, render ROOT,
+// commit; then reopens the store from that ROOT.
+func checkpointReopen(t *testing.T, s *Store, path string, cachePages int) *Store {
+	t.Helper()
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	root := s.RenderRoot()
+	s.Commit()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(faultfs.OS(), path, root, cachePages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { re.Close() })
+	return re
+}
+
+// TestTreeRandomOps drives a B+Tree against a map reference with big
+// and small keys/values (forcing overflow chains), under a cache budget
+// far below the working set, with periodic checkpoint+reopen cycles.
+func TestTreeRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s, path := newTestStore(t, 16)
+	tr := &Tree{pg: s.pg}
+	ref := map[string]string{}
+	randKey := func() string {
+		if rng.Intn(20) == 0 {
+			return fmt.Sprintf("big-%04d-%s", rng.Intn(300), bytes.Repeat([]byte{'k'}, maxInlineKey+100))
+		}
+		return fmt.Sprintf("k-%05d", rng.Intn(3000))
+	}
+	randVal := func() string {
+		if rng.Intn(20) == 0 {
+			return string(bytes.Repeat([]byte{'v'}, maxInlineVal+PageSize))
+		}
+		return fmt.Sprintf("val-%d", rng.Intn(1e6))
+	}
+	verify := func() {
+		t.Helper()
+		got := map[string]string{}
+		var prev []byte
+		if err := tr.Scan(func(k, v []byte) (bool, error) {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("scan out of order: %q after %q", k, prev)
+			}
+			prev = append(prev[:0], k...)
+			got[string(k)] = string(v)
+			return true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("tree has %d keys, reference %d", len(got), len(ref))
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				t.Fatalf("key %.20q: got %.20q want %.20q", k, got[k], v)
+			}
+		}
+	}
+	for i := 0; i < 6000; i++ {
+		k := randKey()
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			if _, err := tr.Delete([]byte(k)); err != nil {
+				t.Fatalf("op %d: delete: %v", i, err)
+			}
+			delete(ref, k)
+		default:
+			v := randVal()
+			if err := tr.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("op %d: put: %v", i, err)
+			}
+			ref[k] = v
+		}
+		if rng.Intn(50) == 0 {
+			kk := randKey()
+			v, ok, err := tr.Get([]byte(kk))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := ref[kk]
+			if ok != wantOK || (ok && string(v) != want) {
+				t.Fatalf("op %d: get %.20q: got (%.20q,%v) want (%.20q,%v)", i, kk, v, ok, want, wantOK)
+			}
+		}
+		if i%1500 == 1499 {
+			verify()
+			// Checkpoint + reopen: the tree must survive on only ROOT
+			// state, and freed pages must recycle without corruption.
+			root := tr.root
+			s2 := checkpointReopen(t, s, path, 16)
+			s = s2
+			tr = &Tree{pg: s.pg, root: root}
+			verify()
+		}
+	}
+	verify()
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under a 16-page budget, stats %+v", st)
+	}
+	if st.Cached > 3*16 {
+		t.Fatalf("cache grew far past budget: %+v", st)
+	}
+}
+
+// TestShadowPreservesCommittedTree checks the shadow-paging invariant
+// directly: after a flush+commit, further mutations must not alter any
+// committed page, so re-opening from the old ROOT sees the old tree.
+func TestShadowPreservesCommittedTree(t *testing.T) {
+	s, path := newTestStore(t, 64)
+	if err := s.CreateRelation("R", 2, "relation R (A, B);"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.InsertTuple("R", []value.Value{value.Int(int64(i)), value.String(fmt.Sprintf("row%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	oldRoot := s.RenderRoot()
+	s.Commit()
+
+	// Mutate heavily: deletes, inserts, a second relation.
+	if _, err := s.DeleteWhere("R", func(vs []value.Value) bool { return vs[0].AsInt()%2 == 0 }, -1, value.Value{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateRelation("S", 1, "relation S (X);"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.InsertTuple("S", []value.Value{value.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The OLD root must still describe a fully intact tree.
+	old, err := Open(faultfs.OS(), path, oldRoot, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	count := 0
+	if err := old.ScanRelation("R", func(vs []value.Value) error {
+		if vs[1].AsString() != fmt.Sprintf("row%d", vs[0].AsInt()) {
+			return fmt.Errorf("corrupt tuple %v", vs)
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 500 {
+		t.Fatalf("old root sees %d rows, want 500", count)
+	}
+	if got := old.Relations(); len(got) != 1 || got[0] != "R" {
+		t.Fatalf("old root sees relations %v", got)
+	}
+}
+
+func TestStoreCatalogAndSecondaries(t *testing.T) {
+	s, path := newTestStore(t, 32)
+	if err := s.CreateRelation("EMP", 3, "relation EMP (NAME, DEPT, SAL);"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tup := []value.Value{value.String(fmt.Sprintf("e%03d", i)), value.String(fmt.Sprintf("d%d", i%7)), value.Int(int64(1000 + i))}
+		if err := s.InsertTuple("EMP", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutView("V1", "view V1 ...;"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutView("V2", "view V2 ...;"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutView("V1", "view V1 redefined;"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutPermit("brown", "V1", "permit V1 to brown;"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutPermit("klein", "V2", "permit V2 to klein;"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropPermit("klein", "V2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Equality hint through the DEPT secondary: delete one department.
+	n, err := s.DeleteWhere("EMP", func(vs []value.Value) bool { return vs[1].AsString() == "d3" }, 1, value.String("d3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 && n != 14 {
+		t.Fatalf("deleted %d d3 rows", n)
+	}
+
+	re := checkpointReopen(t, s, path, 32)
+	cat, err := re.LoadCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantViews := []string{"view V2 ...;", "view V1 redefined;"}
+	if len(cat.Schemas) != 1 || len(cat.Permits) != 1 || len(cat.Views) != 2 {
+		t.Fatalf("catalog %+v", cat)
+	}
+	for i, w := range wantViews {
+		if cat.Views[i] != w {
+			t.Fatalf("views %v, want %v", cat.Views, wantViews)
+		}
+	}
+	if cat.Permits[0] != "permit V1 to brown;" {
+		t.Fatalf("permits %v", cat.Permits)
+	}
+	var rows []string
+	if err := re.ScanRelation("EMP", func(vs []value.Value) error {
+		if vs[1].AsString() == "d3" {
+			return fmt.Errorf("d3 row survived: %v", vs)
+		}
+		rows = append(rows, vs[0].AsString())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100-n {
+		t.Fatalf("%d rows after reopen, want %d", len(rows), 100-n)
+	}
+	if !sort.StringsAreSorted(rows) {
+		t.Fatal("primary scan not in key order")
+	}
+}
